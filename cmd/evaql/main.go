@@ -1,0 +1,151 @@
+// Command evaql is an interactive EVA-QL shell and script runner.
+//
+// Usage:
+//
+//	evaql                      # interactive shell (temporary storage)
+//	evaql -dir ./data          # persistent storage directory
+//	evaql -mode noreuse        # run as one of the baselines
+//	evaql -f script.sql        # execute a script and exit
+//	echo "SELECT ..." | evaql  # execute stdin
+//
+// The shell prints result tables, per-statement simulated time, and
+// the reuse breakdown; `\plan` toggles plan display, `\stats` prints
+// the cumulative reuse counters, and `\q` exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"eva"
+)
+
+func main() {
+	dir := flag.String("dir", "", "storage directory (empty = temporary)")
+	mode := flag.String("mode", string(eva.ModeEVA), "system mode: eva | noreuse | hashstash | funcache")
+	file := flag.String("f", "", "execute the EVA-QL script and exit")
+	flag.Parse()
+
+	sys, err := eva.Open(eva.Config{Dir: *dir, Mode: eva.SystemMode(*mode)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runStatements(sys, string(src), false); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	stat, _ := os.Stdin.Stat()
+	interactive := (stat.Mode() & os.ModeCharDevice) != 0
+	if interactive {
+		fmt.Println("EVA-QL shell — reproducing EVA (SIGMOD 2022). \\q quits, \\plan toggles plans, \\stats shows reuse counters.")
+		fmt.Printf("mode: %s   datasets: %s\n", *mode, strings.Join(sortedDatasets(), ", "))
+	}
+
+	showPlan := false
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Print("eva> ")
+			} else {
+				fmt.Print("...> ")
+			}
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case "\\q", "\\quit", "exit":
+			return
+		case "\\plan":
+			showPlan = !showPlan
+			fmt.Printf("plan display: %v\n", showPlan)
+			prompt()
+			continue
+		case "\\stats":
+			printStats(sys)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			src := buf.String()
+			buf.Reset()
+			if err := runStatements(sys, src, showPlan); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		prompt()
+	}
+	// Flush a trailing statement without a semicolon.
+	if strings.TrimSpace(buf.String()) != "" {
+		if err := runStatements(sys, buf.String(), showPlan); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func runStatements(sys *eva.System, src string, showPlan bool) error {
+	res, err := sys.ExecScript(src)
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return nil
+	}
+	if showPlan && res.PlanText != "" {
+		fmt.Println(res.PlanText)
+	}
+	switch {
+	case res.Rows != nil && len(res.Rows.Schema()) == 1 && res.Rows.Schema()[0].Name == "plan":
+		// EXPLAIN output: print the plan text untruncated.
+		fmt.Print(res.PlanText)
+	case res.Rows != nil && len(res.Rows.Schema()) > 0:
+		fmt.Print(eva.Format(res.Rows))
+	}
+	fmt.Printf("simulated %s (wall %s)  [%s]\n",
+		res.SimTime.Round(1e6), res.WallTime.Round(1e6), res.Breakdown)
+	return nil
+}
+
+func printStats(sys *eva.System) {
+	fmt.Printf("hit percentage: %.2f%%\n", sys.HitPercentage())
+	fmt.Printf("view footprint: %.1f MiB\n", float64(sys.ViewFootprint())/(1<<20))
+	counters := sys.UDFCounters()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := counters[n]
+		fmt.Printf("  %-22s DI=%-8d TI=%-8d reused=%-8d evaluated=%d\n", n, st.Distinct, st.Total, st.Reused, st.Evaluated)
+	}
+}
+
+func sortedDatasets() []string {
+	ds := eva.Datasets()
+	sort.Strings(ds)
+	return ds
+}

@@ -1,0 +1,58 @@
+// Command vbench regenerates the paper's tables and figures over the
+// synthetic datasets. By default it runs every experiment at full
+// scale (the paper's dataset sizes) and prints each result next to the
+// paper's headline numbers.
+//
+// Usage:
+//
+//	vbench [-exp table2|table3|...|all] [-scale 0.1] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eva/internal/vbench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run (or 'all')")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor in (0, 1]; 1.0 = paper-sized")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range vbench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := vbench.ExpConfig{Scale: *scale}
+	var exps []vbench.Experiment
+	if *exp == "all" {
+		exps = vbench.Experiments()
+	} else {
+		e, err := vbench.ExperimentByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []vbench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		fmt.Printf("=== %s ===\n", e.Title)
+		fmt.Printf("paper: %s\n\n", e.Paper)
+		start := time.Now()
+		out, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("\n(%s wall)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

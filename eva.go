@@ -1,0 +1,508 @@
+// Package eva is a video database management system (VDBMS) that
+// accelerates exploratory video analytics by automatically
+// materializing and reusing the results of expensive deep-learning
+// UDFs, reproducing "EVA: A Symbolic Approach to Accelerating
+// Exploratory Video Analytics with Materialized Views" (SIGMOD 2022).
+//
+// A System owns a catalog, a storage engine, a UDF runtime, and the
+// Cascades-style optimizer with the semantic reuse algorithm. Clients
+// speak EVA-QL:
+//
+//	sys, _ := eva.Open(eva.Config{})
+//	defer sys.Close()
+//	sys.Exec(`LOAD VIDEO 'medium-ua-detrac' INTO video`)
+//	res, _ := sys.Exec(`SELECT id, bbox FROM video
+//	    CROSS APPLY FasterRCNNResnet50(frame)
+//	    WHERE id < 1000 AND label = 'car'
+//	    AND CarType(frame, bbox) = 'Nissan'`)
+//	fmt.Println(res.Rows.Len())
+//
+// Repeated and refined queries reuse the materialized UDF results of
+// earlier ones; Result.Breakdown reports where the (simulated) time
+// went.
+package eva
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"eva/internal/baselines"
+	"eva/internal/catalog"
+	"eva/internal/core"
+	"eva/internal/exec"
+	"eva/internal/optimizer"
+	"eva/internal/parser"
+	"eva/internal/plan"
+	"eva/internal/simclock"
+	"eva/internal/storage"
+	"eva/internal/types"
+	"eva/internal/udf"
+	"eva/internal/vision"
+)
+
+// Re-exported value types so callers outside this module can hold and
+// inspect results without importing internal packages.
+type (
+	// Batch is a columnar result set.
+	Batch = types.Batch
+	// Schema describes result columns.
+	Schema = types.Schema
+	// Datum is a single scalar value.
+	Datum = types.Datum
+	// Breakdown is the per-category simulated-time accounting.
+	Breakdown = simclock.Breakdown
+	// UDFStats are per-UDF demand/reuse counters.
+	UDFStats = udf.Stats
+	// OptimizerReport exposes the optimizer's reuse decisions.
+	OptimizerReport = optimizer.Report
+	// PredInfo is the per-UDF symbolic analysis in an OptimizerReport.
+	PredInfo = optimizer.PredInfo
+	// ScalarFunc implements a custom scalar UDF in Go.
+	ScalarFunc = udf.ScalarFunc
+	// Dataset describes a synthetic video dataset.
+	Dataset = vision.Dataset
+)
+
+// SystemMode selects the reuse strategy — EVA or one of the paper's
+// baselines (§5.1).
+type SystemMode string
+
+// System modes.
+const (
+	// ModeEVA is the full system: symbolic reuse, materialization-aware
+	// reordering, logical UDF reuse.
+	ModeEVA SystemMode = "eva"
+	// ModeNoReuse disables all reuse.
+	ModeNoReuse SystemMode = "noreuse"
+	// ModeHashStash reimplements the HashStash baseline: operator-level
+	// (sub-plan) reuse via a recycler graph — detector outputs are
+	// reused, predicate-level UDFs are not, and ranking is canonical.
+	ModeHashStash SystemMode = "hashstash"
+	// ModeFunCache reimplements tuple-level function caching with
+	// xxHash argument keys inside the execution engine.
+	ModeFunCache SystemMode = "funcache"
+)
+
+// Config configures a System.
+type Config struct {
+	// Dir is the storage directory; empty means a fresh temporary
+	// directory removed on Close.
+	Dir string
+	// Mode selects the reuse strategy; default ModeEVA.
+	Mode SystemMode
+	// BatchSize overrides the scan batch size (frames).
+	BatchSize int
+	// DisableReduction turns off Algorithm 1 predicate reduction
+	// (ablation studies).
+	DisableReduction bool
+	// CanonicalRanking forces the Eq. 2 ranking function even in EVA
+	// mode (the Fig. 9 comparison).
+	CanonicalRanking bool
+	// MinCostLogical forces Min-Cost logical UDF binding even in EVA
+	// mode (the Fig. 10 baselines).
+	MinCostLogical bool
+	// FuzzyReuse enables the §6 extension: scalar UDF results keyed by
+	// bounding boxes are reused across detector models when boxes for
+	// the same object nearly coincide. Approximate by construction.
+	FuzzyReuse bool
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Rows holds the result rows (possibly empty for DDL).
+	Rows *Batch
+	// PlanText is the physical plan, for EXPLAIN-style inspection.
+	PlanText string
+	// Report is the optimizer's reuse analysis for SELECTs.
+	Report OptimizerReport
+	// Breakdown is the simulated time spent by this statement.
+	Breakdown Breakdown
+	// SimTime is Breakdown.Total().
+	SimTime time.Duration
+	// WallTime is the real execution time.
+	WallTime time.Duration
+}
+
+// System is an EVA instance: the public facade over the semantic reuse
+// engine of internal/core.
+type System struct {
+	cfg     Config
+	tempDir string
+
+	eng   *core.Engine
+	store *storage.Engine
+	rec   *baselines.Recycler
+}
+
+// Internal accessors keeping the method bodies readable.
+func (s *System) cat() *catalog.Catalog  { return s.eng.Catalog }
+func (s *System) rt() *udf.Runtime       { return s.eng.Runtime }
+func (s *System) mgr() *udf.Manager      { return s.eng.Manager }
+func (s *System) clock() *simclock.Clock { return s.eng.Clock }
+
+// Open creates a System.
+func Open(cfg Config) (*System, error) {
+	if cfg.Mode == "" {
+		cfg.Mode = ModeEVA
+	}
+	dir := cfg.Dir
+	temp := ""
+	if dir == "" {
+		d, err := os.MkdirTemp("", "eva-*")
+		if err != nil {
+			return nil, err
+		}
+		dir, temp = d, d
+	}
+	store, err := storage.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.New(store, cfg.BatchSize)
+	eng.Runtime.SetFunCache(cfg.Mode == ModeFunCache)
+	s := &System{
+		cfg: cfg, tempDir: temp,
+		eng:   eng,
+		store: store,
+		rec:   baselines.NewRecycler(),
+	}
+	return s, nil
+}
+
+// Close releases resources (and removes the storage directory when it
+// was temporary).
+func (s *System) Close() error {
+	if s.tempDir != "" {
+		return os.RemoveAll(s.tempDir)
+	}
+	return nil
+}
+
+// optimizerMode maps the system mode onto optimizer knobs.
+func (s *System) optimizerMode() optimizer.Mode {
+	var m optimizer.Mode
+	switch s.cfg.Mode {
+	case ModeEVA:
+		m = optimizer.EVAMode()
+	case ModeHashStash:
+		m = optimizer.Mode{Reuse: true, ReuseScalarUDFs: false, Ranking: optimizer.RankCanonical, Logical: optimizer.LogicalMinCost}
+	case ModeFunCache, ModeNoReuse:
+		m = optimizer.NoReuseMode()
+	default:
+		m = optimizer.EVAMode()
+	}
+	m.DisableReduction = s.cfg.DisableReduction
+	m.FuzzyBBox = s.cfg.FuzzyReuse
+	if s.cfg.CanonicalRanking {
+		m.Ranking = optimizer.RankCanonical
+	}
+	if s.cfg.MinCostLogical {
+		m.Logical = optimizer.LogicalMinCost
+		if s.cfg.Mode == ModeNoReuse {
+			m.Logical = optimizer.LogicalMinCostNoReuse
+		}
+	}
+	return m
+}
+
+// ViewRows reports the number of materialized result rows per view —
+// the convergence metric of Fig. 8(b).
+func (s *System) ViewRows() map[string]int {
+	out := map[string]int{}
+	for _, name := range s.store.Views() {
+		if v := s.store.View(name); v != nil {
+			out[name] = v.Rows()
+		}
+	}
+	return out
+}
+
+// Exec parses and executes one EVA-QL statement.
+func (s *System) Exec(sql string) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, returning the last
+// statement's result.
+func (s *System) ExecScript(sql string) (*Result, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		last, err = s.ExecStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes one parsed statement.
+func (s *System) ExecStmt(stmt parser.Statement) (*Result, error) {
+	start := time.Now()
+	snap := s.clock().Snapshot()
+	res := &Result{}
+	var err error
+	switch st := stmt.(type) {
+	case *parser.SelectStmt:
+		res, err = s.execSelect(st)
+	case *parser.LoadStmt:
+		err = s.LoadVideo(st.Table, st.Dataset)
+	case *parser.CreateUDFStmt:
+		err = s.createUDF(st)
+	case *parser.ShowStmt:
+		res, err = s.execShow(st)
+	case *parser.ExplainStmt:
+		res, err = s.execExplain(st)
+	case *parser.DropViewsStmt:
+		err = s.DropViews()
+	default:
+		err = fmt.Errorf("eva: unsupported statement %T", stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	res.Breakdown = s.clock().Since(snap)
+	res.SimTime = res.Breakdown.Total()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+func (s *System) execSelect(stmt *parser.SelectStmt) (*Result, error) {
+	mode := s.optimizerMode()
+	table := strings.ToLower(stmt.From)
+	if s.cfg.Mode == ModeHashStash {
+		// HashStash: the recycler graph sub-tree-matches the query's
+		// apply operator against previously materialized outputs; the
+		// coverage callback implements its all-or-nothing reuse rule.
+		mode.TableCovered = func(udfName string, lo, hi int64) bool {
+			return s.rec.Covered(recyclerKey(table, udfName), lo, hi)
+		}
+	}
+	out, err := s.eng.Execute(stmt, mode)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Mode == ModeHashStash && out.Report.DetectorEval != "" {
+		// Register the freshly materialized operator output.
+		s.rec.Add(recyclerKey(table, out.Report.DetectorEval), out.Report.ScanLo, out.Report.ScanHi)
+	}
+	return &Result{Rows: out.Rows, PlanText: plan.Explain(out.Plan), Report: out.Report}, nil
+}
+
+func recyclerKey(table, udfName string) string {
+	return "apply:" + strings.ToLower(udfName) + "@scan:" + table
+}
+
+// execExplain optimizes without mutating reuse state; with ANALYZE it
+// also executes the plan (normally, with commits) and reports
+// per-operator statistics.
+func (s *System) execExplain(st *parser.ExplainStmt) (*Result, error) {
+	mode := s.optimizerMode()
+	var (
+		text   string
+		report optimizer.Report
+	)
+	if st.Analyze {
+		out, err := s.eng.ExecuteTraced(st.Select, mode)
+		if err != nil {
+			return nil, err
+		}
+		text, report = out.Trace.String(), out.Report
+	} else {
+		optRes, err := s.eng.Plan(st.Select, mode)
+		if err != nil {
+			return nil, err
+		}
+		text, report = plan.Explain(optRes.Plan), optRes.Report
+	}
+	sch := types.MustSchema(types.Column{Name: "plan", Kind: types.KindString})
+	rows := types.NewBatch(sch)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rows.MustAppendRow(types.NewString(line))
+	}
+	return &Result{Rows: rows, PlanText: text, Report: report}, nil
+}
+
+// DropViews discards all materialized UDF results and resets the
+// aggregated predicates — a clean reuse slate.
+func (s *System) DropViews() error {
+	if err := s.store.DropViews(); err != nil {
+		return err
+	}
+	s.mgr().Reset()
+	s.rec = baselines.NewRecycler()
+	return nil
+}
+
+// LoadVideo registers a built-in synthetic dataset as a video table.
+func (s *System) LoadVideo(table, dataset string) error {
+	ds, err := vision.DatasetByName(dataset)
+	if err != nil {
+		return err
+	}
+	return s.LoadDataset(table, ds)
+}
+
+// LoadDataset registers an arbitrary dataset descriptor as a table.
+func (s *System) LoadDataset(table string, ds vision.Dataset) error {
+	if _, err := s.cat().RegisterVideo(table, ds); err != nil {
+		return err
+	}
+	if _, err := s.store.CreateVideo(table, ds); err != nil {
+		return err
+	}
+	return nil
+}
+
+// createUDF registers a UDF from a CREATE UDF statement (Listing 2).
+func (s *System) createUDF(st *parser.CreateUDFStmt) error {
+	if s.cat().HasUDF(st.Name) && !st.OrReplace {
+		return fmt.Errorf("eva: UDF %q already exists (use CREATE OR REPLACE)", st.Name)
+	}
+	var outs types.Schema
+	for _, c := range st.Outputs {
+		outs = append(outs, types.Column{Name: c.Name, Kind: c.Kind})
+	}
+	var inputs []string
+	for _, c := range st.Inputs {
+		inputs = append(inputs, c.Name)
+	}
+	acc := vision.AccuracyHigh
+	if a, ok := st.Properties["ACCURACY"]; ok {
+		lvl, err := vision.ParseAccuracy(a)
+		if err != nil {
+			return err
+		}
+		acc = lvl
+	}
+	cost := 10 * time.Millisecond
+	if c, ok := st.Properties["COST_MS"]; ok {
+		var ms float64
+		if _, err := fmt.Sscanf(c, "%f", &ms); err != nil {
+			return fmt.Errorf("eva: bad COST_MS %q", c)
+		}
+		cost = time.Duration(ms * float64(time.Millisecond))
+	}
+	logical := st.LogicalType
+	if logical == "" {
+		logical = st.Name
+	}
+	kind := catalog.KindScalarUDF
+	if len(outs) > 1 {
+		kind = catalog.KindTableUDF
+	}
+	return s.cat().RegisterUDF(&catalog.UDF{
+		Name: st.Name, Kind: kind, LogicalType: logical, Accuracy: acc,
+		Cost: cost, Inputs: inputs, Outputs: outs, Impl: st.Impl,
+		Expensive: cost >= 500*time.Microsecond,
+	})
+}
+
+func (s *System) execShow(st *parser.ShowStmt) (*Result, error) {
+	sch := types.MustSchema(types.Column{Name: "name", Kind: types.KindString})
+	b := types.NewBatch(sch)
+	switch st.What {
+	case "TABLES":
+		for _, n := range s.cat().Tables() {
+			b.MustAppendRow(types.NewString(n))
+		}
+	case "VIEWS":
+		for _, n := range s.store.Views() {
+			b.MustAppendRow(types.NewString(n))
+		}
+	case "UDFS":
+		for _, n := range []string{vision.YoloTiny, vision.FasterRCNN50, vision.FasterRCNN101, "CarType", "ColorDet", "License", "VehicleFilter", "Area"} {
+			if s.cat().HasUDF(n) {
+				b.MustAppendRow(types.NewString(n))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("eva: SHOW %s not supported (TABLES, VIEWS, UDFS)", st.What)
+	}
+	return &Result{Rows: b}, nil
+}
+
+// RegisterScalarImpl installs a Go implementation for a CREATE'd UDF.
+func (s *System) RegisterScalarImpl(name string, fn ScalarFunc) {
+	s.rt().RegisterImpl(name, fn)
+}
+
+// EvalScalarUDF evaluates a scalar UDF directly (outside any query),
+// charging its profiled cost. Custom UDF implementations may use it to
+// compose builtin models.
+func (s *System) EvalScalarUDF(name string, args []Datum) (Datum, error) {
+	return s.rt().EvalScalar(name, args)
+}
+
+// Datum constructors re-exported for custom UDF implementations.
+var (
+	// NewBool wraps a boolean datum.
+	NewBool = types.NewBool
+	// NewInt wraps an integer datum.
+	NewInt = types.NewInt
+	// NewFloat wraps a float datum.
+	NewFloat = types.NewFloat
+	// NewString wraps a string datum.
+	NewString = types.NewString
+	// NewBytes wraps a byte-slice datum.
+	NewBytes = types.NewBytes
+)
+
+// HitPercentage returns Table 2's metric for the work so far.
+func (s *System) HitPercentage() float64 { return s.rt().HitPercentage() }
+
+// UDFCounters returns per-UDF demand/reuse statistics (Table 3).
+func (s *System) UDFCounters() map[string]UDFStats { return s.rt().CounterSnapshot() }
+
+// ViewFootprint returns the total on-disk bytes of materialized views
+// (§5.2 storage overhead).
+func (s *System) ViewFootprint() int64 { return s.store.TotalViewFootprint() }
+
+// DatasetVirtualBytes returns the simulated decoded size of a loaded
+// video table.
+func (s *System) DatasetVirtualBytes(table string) (int64, error) {
+	v, err := s.store.Video(table)
+	if err != nil {
+		return 0, err
+	}
+	return v.VirtualBytes(), nil
+}
+
+// SimulatedTime returns the total simulated time charged so far.
+func (s *System) SimulatedTime() time.Duration { return s.clock().Total() }
+
+// SimulatedBreakdown returns the per-category simulated time so far.
+func (s *System) SimulatedBreakdown() Breakdown {
+	return s.clock().Since(simclock.Snapshot{})
+}
+
+// ResetMetrics clears counters and the clock but keeps materialized
+// state (used between measurement phases).
+func (s *System) ResetMetrics() {
+	s.clock().Reset()
+	s.rt().ResetCounters()
+}
+
+// Format renders a result batch as an aligned table.
+func Format(b *Batch) string { return exec.FormatBatch(b) }
+
+// Datasets lists the built-in dataset names.
+func Datasets() []string {
+	var out []string
+	for n := range vision.Datasets() {
+		out = append(out, n)
+	}
+	return out
+}

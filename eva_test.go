@@ -1,0 +1,289 @@
+package eva
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eva/internal/simclock"
+)
+
+func openSystem(t *testing.T, mode SystemMode) *System {
+	t.Helper()
+	sys, err := Open(Config{Dir: t.TempDir(), Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if err := sys.LoadVideo("video", "jackson"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestOpenDefaultsAndTempDir(t *testing.T) {
+	sys, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.cfg.Mode != ModeEVA {
+		t.Errorf("default mode = %s", sys.cfg.Mode)
+	}
+	if err := sys.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestLoadAndSelect(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	res, err := sys.Exec("SELECT id, seconds FROM video WHERE id < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 5 {
+		t.Errorf("rows = %d", res.Rows.Len())
+	}
+	if res.SimTime <= 0 || res.WallTime <= 0 {
+		t.Error("timings not populated")
+	}
+	if !strings.Contains(res.PlanText, "Scan(video") {
+		t.Errorf("plan text = %q", res.PlanText)
+	}
+}
+
+func TestExecScriptAndLoadStatement(t *testing.T) {
+	sys, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.ExecScript(`
+		LOAD VIDEO 'jackson' INTO v;
+		SELECT id FROM v WHERE id < 3;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 3 {
+		t.Errorf("rows = %d", res.Rows.Len())
+	}
+}
+
+func TestReuseAcrossQueries(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	q := `SELECT id, label FROM video CROSS APPLY FasterRCNNResnet50(frame) WHERE id < 400`
+	first, err := sys.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Rows.Len() != second.Rows.Len() {
+		t.Fatalf("row mismatch: %d vs %d", first.Rows.Len(), second.Rows.Len())
+	}
+	if udfTime := second.Breakdown.Get(simclock.CatUDF); udfTime != 0 {
+		t.Errorf("second run UDF time = %v, want 0", udfTime)
+	}
+	if second.SimTime >= first.SimTime {
+		t.Errorf("reuse not faster: %v vs %v", second.SimTime, first.SimTime)
+	}
+	if hit := sys.HitPercentage(); hit < 49 || hit > 51 {
+		t.Errorf("hit%% = %v, want ≈ 50", hit)
+	}
+	if sys.ViewFootprint() <= 0 {
+		t.Error("views not materialized")
+	}
+}
+
+func TestModesDiffer(t *testing.T) {
+	q := `SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame)
+		WHERE id < 300 AND label = 'car' AND ColorDet(frame, bbox) = 'Gray'`
+	type outcome struct {
+		rows int
+		hit  float64
+	}
+	results := map[SystemMode]outcome{}
+	for _, mode := range []SystemMode{ModeNoReuse, ModeHashStash, ModeFunCache, ModeEVA} {
+		sys := openSystem(t, mode)
+		if _, err := sys.Exec(q); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		res, err := sys.Exec(q)
+		if err != nil {
+			t.Fatalf("%s second: %v", mode, err)
+		}
+		results[mode] = outcome{rows: res.Rows.Len(), hit: sys.HitPercentage()}
+	}
+	base := results[ModeNoReuse].rows
+	for mode, o := range results {
+		if o.rows != base {
+			t.Errorf("%s returned %d rows, no-reuse returned %d", mode, o.rows, base)
+		}
+	}
+	if results[ModeNoReuse].hit != 0 {
+		t.Error("no-reuse should have 0 hit%")
+	}
+	if !(results[ModeEVA].hit > results[ModeHashStash].hit) {
+		t.Errorf("EVA hit %v should exceed HashStash %v", results[ModeEVA].hit, results[ModeHashStash].hit)
+	}
+	if results[ModeFunCache].hit != results[ModeEVA].hit {
+		t.Errorf("FunCache hit %v should equal EVA %v (Table 2)", results[ModeFunCache].hit, results[ModeEVA].hit)
+	}
+}
+
+func TestCreateUDFAndCustomImpl(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	_, err := sys.Exec(`CREATE UDF GrayNissan
+		INPUT = (frame BYTES, bbox TEXT)
+		OUTPUT = (graynissan_out BOOLEAN)
+		IMPL = 'examples/monolithic.go'
+		PROPERTIES = ('COST_MS' = '11')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-creating without OR REPLACE fails; with it succeeds.
+	if _, err := sys.Exec(`CREATE UDF GrayNissan INPUT=(frame BYTES) OUTPUT=(x BOOLEAN) IMPL='y'`); err == nil {
+		t.Error("duplicate CREATE UDF should fail")
+	}
+	if _, err := sys.Exec(`CREATE OR REPLACE UDF GrayNissan
+		INPUT = (frame BYTES, bbox TEXT) OUTPUT = (graynissan_out BOOLEAN)
+		IMPL = 'examples/monolithic.go' PROPERTIES = ('COST_MS' = '11')`); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	sys.RegisterScalarImpl("GrayNissan", func(args []Datum) (Datum, error) {
+		calls++
+		return Datum{}, nil
+	})
+	_ = calls
+	res, err := sys.Exec(`SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame)
+		WHERE id < 200 AND GrayNissan(frame, bbox) = TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// The monolithic UDF's results are themselves reusable.
+	before := calls
+	if _, err := sys.Exec(`SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame)
+		WHERE id < 200 AND GrayNissan(frame, bbox) = TRUE`); err != nil {
+		t.Fatal(err)
+	}
+	if calls != before {
+		t.Errorf("monolithic UDF re-evaluated %d times on identical query", calls-before)
+	}
+}
+
+func TestShowStatements(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	res, err := sys.Exec("SHOW TABLES")
+	if err != nil || res.Rows.Len() != 1 {
+		t.Errorf("SHOW TABLES: %v, %v", res, err)
+	}
+	res, err = sys.Exec("SHOW UDFS")
+	if err != nil || res.Rows.Len() < 5 {
+		t.Errorf("SHOW UDFS: %v, %v", res, err)
+	}
+	if _, err := sys.Exec("SHOW COWS"); err == nil {
+		t.Error("SHOW COWS should error")
+	}
+	if _, err := sys.Exec("SHOW VIEWS"); err != nil {
+		t.Error("SHOW VIEWS should work")
+	}
+}
+
+func TestErrorSurfaces(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	for _, sql := range []string{
+		"SELECT bogus syntax here",
+		"SELECT id FROM missing WHERE id < 5",
+		"LOAD VIDEO 'not-a-dataset' INTO x",
+	} {
+		if _, err := sys.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) should error", sql)
+		}
+	}
+	if err := sys.LoadVideo("video", "jackson"); err == nil {
+		t.Error("duplicate table load should error")
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	if _, err := sys.Exec("SELECT id FROM video WHERE id < 10"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.SimulatedTime() == 0 {
+		t.Fatal("no time charged")
+	}
+	sys.ResetMetrics()
+	if sys.SimulatedTime() != 0 || sys.HitPercentage() != 0 {
+		t.Error("metrics not reset")
+	}
+}
+
+func TestDatasetVirtualBytesAndHelpers(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	n, err := sys.DatasetVirtualBytes("video")
+	if err != nil || n != int64(14000)*600*400*3 {
+		t.Errorf("virtual bytes = %d, %v", n, err)
+	}
+	if _, err := sys.DatasetVirtualBytes("nope"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if len(Datasets()) != 4 {
+		t.Errorf("datasets = %v", Datasets())
+	}
+	res, _ := sys.Exec("SELECT id FROM video WHERE id < 2")
+	if out := Format(res.Rows); !strings.Contains(out, "(2 rows)") {
+		t.Errorf("Format = %q", out)
+	}
+}
+
+func TestRecyclerGraphAllOrNothing(t *testing.T) {
+	sys := openSystem(t, ModeHashStash)
+	if _, err := sys.Exec("SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame) WHERE id < 50"); err != nil {
+		t.Fatal(err)
+	}
+	evals0 := sys.UDFCounters()["fasterrcnnresnet50"].Evaluated
+	if evals0 != 50 {
+		t.Fatalf("first query evaluated %d frames", evals0)
+	}
+	// Covered: subset range is answered from the recycler graph.
+	if _, err := sys.Exec("SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame) WHERE id < 30"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.UDFCounters()["fasterrcnnresnet50"].Evaluated; got != evals0 {
+		t.Errorf("covered query re-evaluated: %d -> %d", evals0, got)
+	}
+	// Not covered: HashStash re-runs the whole query — including the
+	// already-materialized prefix (no difference computation).
+	if _, err := sys.Exec("SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame) WHERE id < 80"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.UDFCounters()["fasterrcnnresnet50"].Evaluated; got != evals0+80 {
+		t.Errorf("uncovered query evaluated %d new frames, want 80 (all-or-nothing)", got-evals0)
+	}
+	if nodes := sys.rec.Nodes(); nodes != 1 {
+		t.Errorf("recycler nodes = %d", nodes)
+	}
+	hits, misses := sys.rec.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("recycler hits/misses = %d/%d, want 1/2", hits, misses)
+	}
+}
+
+func TestSimulatedBreakdownAccumulates(t *testing.T) {
+	sys := openSystem(t, ModeEVA)
+	if _, err := sys.Exec("SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame) WHERE id < 30"); err != nil {
+		t.Fatal(err)
+	}
+	b := sys.SimulatedBreakdown()
+	if b.Get(simclock.CatUDF) < 30*99*time.Millisecond/2 {
+		t.Errorf("UDF time = %v, expected ≈ 30 frames × 99ms", b.Get(simclock.CatUDF))
+	}
+	if b.Get(simclock.CatReadVideo) == 0 {
+		t.Error("no video read time charged")
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: open an EVA system, load a synthetic video, and watch
+// the second, refined query get served from materialized UDF results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eva"
+)
+
+func main() {
+	sys, err := eva.Open(eva.Config{}) // temporary storage, full EVA mode
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	if _, err := sys.Exec(`LOAD VIDEO 'jackson' INTO video`); err != nil {
+		log.Fatal(err)
+	}
+
+	// First query: every frame in the range runs the object detector.
+	q1 := `SELECT id, label, area FROM video
+	       CROSS APPLY FasterRCNNResnet50(frame)
+	       WHERE id < 2000 AND label = 'car'`
+	res1, err := sys.Exec(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1: %d cars found, simulated %s\n", res1.Rows.Len(), res1.SimTime.Round(1e9))
+	fmt.Printf("    breakdown: %s\n", res1.Breakdown)
+
+	// Refinement: the analyst zooms in. The detector results for
+	// frames [0, 2000) are already materialized, so only the new
+	// frames [2000, 3000) are evaluated.
+	q2 := `SELECT id, label, area FROM video
+	       CROSS APPLY FasterRCNNResnet50(frame)
+	       WHERE id < 3000 AND label = 'car' AND area > 0.2`
+	res2, err := sys.Exec(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q2: %d large cars found, simulated %s (vs %s cold)\n",
+		res2.Rows.Len(), res2.SimTime.Round(1e9), res1.SimTime.Round(1e9))
+	fmt.Printf("    breakdown: %s\n", res2.Breakdown)
+
+	fmt.Printf("\nhit percentage so far: %.1f%%\n", sys.HitPercentage())
+	fmt.Printf("materialized views: %.2f MiB on disk\n", float64(sys.ViewFootprint())/(1<<20))
+}

@@ -1,0 +1,57 @@
+// Traffic monitoring: the cross-application reuse scenario (Listing 1,
+// Q4). A planner counts vehicles per frame with a *logical*
+// ObjectDetector at LOW accuracy; because a tracking application
+// already materialized high-accuracy FasterRCNN results over the same
+// region, Algorithm 2's set-cover picks that view instead of running
+// YoloTiny — reuse across applications with different accuracy needs.
+//
+//	go run ./examples/traffic_monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eva"
+)
+
+func main() {
+	sys, err := eva.Open(eva.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Exec(`LOAD VIDEO 'medium-ua-detrac' INTO video`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Application 1: vehicle tracking with a high-accuracy detector.
+	fmt.Println("tracking app: materializing high-accuracy detections ...")
+	res, err := sys.Exec(`SELECT id, bbox FROM video
+		CROSS APPLY FasterRCNNResnet50(frame)
+		WHERE id < 3000 AND label = 'car'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d detections, simulated %s\n", res.Rows.Len(), res.SimTime.Round(1e9))
+
+	// Application 2: traffic monitoring. A LOW-accuracy logical
+	// detector would normally bind to YoloTiny — but the optimizer
+	// reuses the materialized high-accuracy results instead.
+	fmt.Println("\ntraffic app: per-frame vehicle counts at LOW accuracy")
+	res, err = sys.Exec(`SELECT id, COUNT(*) AS vehicles FROM video
+		CROSS APPLY ObjectDetector(frame) ACCURACY 'LOW'
+		WHERE id < 3000 AND label = 'car' AND area > 0.15
+		GROUP BY id LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(eva.Format(res.Rows))
+	fmt.Printf("simulated %s — detector sources chosen: %v (eval model: %s)\n",
+		res.SimTime.Round(1e9), res.Report.DetectorSources, res.Report.DetectorEval)
+
+	stats := sys.UDFCounters()
+	fmt.Printf("\nYoloTiny evaluations: %d (reused the FasterRCNN view instead)\n",
+		stats["yolotiny"].Evaluated)
+	fmt.Printf("hit percentage: %.1f%%\n", sys.HitPercentage())
+}

@@ -1,0 +1,78 @@
+package eva
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFuzzyBBoxReuseAcrossDetectors exercises the §6 extension: after
+// CarType results are materialized for FasterRCNN101's bounding boxes,
+// a query over FasterRCNN50's (slightly different) boxes reuses them
+// when FuzzyReuse is on, and re-evaluates when it is off.
+func TestFuzzyBBoxReuseAcrossDetectors(t *testing.T) {
+	warm := `SELECT id FROM video CROSS APPLY FasterRCNNResnet101(frame)
+	         WHERE id < 150 AND label = 'car' AND CarType(frame, bbox) = 'Nissan'`
+	probe := `SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame)
+	          WHERE id < 150 AND label = 'car' AND CarType(frame, bbox) = 'Nissan'`
+
+	run := func(fuzzy bool) (evaluated, reused int, rows int) {
+		sys, err := Open(Config{Dir: t.TempDir(), FuzzyReuse: fuzzy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		if err := sys.LoadVideo("video", "medium-ua-detrac"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Exec(warm); err != nil {
+			t.Fatal(err)
+		}
+		before := sys.UDFCounters()["cartype"]
+		res, err := sys.Exec(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := sys.UDFCounters()["cartype"]
+		return after.Evaluated - before.Evaluated, after.Reused - before.Reused, res.Rows.Len()
+	}
+
+	exactEvals, exactReused, exactRows := run(false)
+	fuzzyEvals, fuzzyReused, fuzzyRows := run(true)
+
+	if exactReused != 0 {
+		t.Fatalf("exact mode reused %d cross-model results; keys should differ", exactReused)
+	}
+	if fuzzyReused == 0 {
+		t.Fatal("fuzzy mode reused nothing across detectors")
+	}
+	if fuzzyEvals >= exactEvals {
+		t.Errorf("fuzzy evals %d should be far below exact %d", fuzzyEvals, exactEvals)
+	}
+	// Fuzzy reuse must stay approximately faithful: the probe query's
+	// result set should be close to the exact one (classifications are
+	// tolerant of small box shifts).
+	diff := fuzzyRows - exactRows
+	if diff < 0 {
+		diff = -diff
+	}
+	if exactRows == 0 {
+		t.Skip("no Nissans in range")
+	}
+	if float64(diff)/float64(exactRows) > 0.10 {
+		t.Errorf("fuzzy result drift too large: %d vs %d rows", fuzzyRows, exactRows)
+	}
+	t.Log(fmt.Sprintf("exact: evals=%d rows=%d; fuzzy: evals=%d reused=%d rows=%d",
+		exactEvals, exactRows, fuzzyEvals, fuzzyReused, fuzzyRows))
+}
+
+// TestFuzzyReuseOffByDefault guards the default configuration.
+func TestFuzzyReuseOffByDefault(t *testing.T) {
+	sys, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.cfg.FuzzyReuse {
+		t.Error("fuzzy reuse must be opt-in")
+	}
+}

@@ -1,0 +1,20 @@
+package catalog
+
+import (
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+// Small expression-building helpers shared by the package tests.
+
+type exprT = expr.Expr
+
+func mkAnd(l, r exprT) exprT { return expr.NewAnd(l, r) }
+
+func mkCmpLtIntCol(col string, v int64) exprT {
+	return expr.NewCmp(expr.OpLt, expr.NewColumn(col), expr.NewConst(types.NewInt(v)))
+}
+
+func mkCmpEqStrCol(col, v string) exprT {
+	return expr.NewCmp(expr.OpEq, expr.NewColumn(col), expr.NewConst(types.NewString(v)))
+}

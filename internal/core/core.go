@@ -1,0 +1,112 @@
+// Package core wires together the semantic reuse pipeline of §3.1 —
+// the paper's primary contribution. One Engine owns the four-step
+// lifecycle of every query:
+//
+//	parse tree ─▶ ① identify candidate UDFs
+//	           ─▶ ② compute signatures, fetch aggregated predicates
+//	           ─▶ ③ materialization-aware optimizations (Eq. 4 ranking,
+//	                Algorithm 2 set cover)
+//	           ─▶ ④ rule-based transformation (Fig. 3 / Fig. 4)
+//	           ─▶ execution with view reads, guarded evaluation, stores
+//
+// Steps ①–④ live in internal/optimizer and internal/udf; execution in
+// internal/exec. The Engine composes them over shared state (catalog,
+// UDFManager, storage, virtual clock) and is what the public eva
+// package drives.
+package core
+
+import (
+	"eva/internal/catalog"
+	"eva/internal/exec"
+	"eva/internal/optimizer"
+	"eva/internal/parser"
+	"eva/internal/plan"
+	"eva/internal/simclock"
+	"eva/internal/storage"
+	"eva/internal/types"
+	"eva/internal/udf"
+)
+
+// Engine is one instance of the semantic reuse pipeline.
+type Engine struct {
+	Catalog *catalog.Catalog
+	Manager *udf.Manager
+	Runtime *udf.Runtime
+	Store   *storage.Engine
+	Clock   *simclock.Clock
+	Opt     *optimizer.Optimizer
+
+	batchSize int
+}
+
+// New assembles an engine over a storage root.
+func New(store *storage.Engine, batchSize int) *Engine {
+	cat := catalog.New()
+	clock := &simclock.Clock{}
+	mgr := udf.NewManager()
+	return &Engine{
+		Catalog:   cat,
+		Manager:   mgr,
+		Runtime:   udf.NewRuntime(cat, clock),
+		Store:     store,
+		Clock:     clock,
+		Opt:       optimizer.New(cat, mgr, clock),
+		batchSize: batchSize,
+	}
+}
+
+// Outcome is the result of running one SELECT through the pipeline.
+type Outcome struct {
+	Rows   *types.Batch
+	Plan   plan.Node
+	Report optimizer.Report
+	// Trace holds per-operator statistics when requested.
+	Trace *exec.Trace
+}
+
+// Execute runs a SELECT through the full pipeline under the mode.
+func (e *Engine) Execute(stmt *parser.SelectStmt, mode optimizer.Mode) (*Outcome, error) {
+	return e.execute(stmt, mode, false)
+}
+
+// ExecuteTraced is Execute with per-operator instrumentation.
+func (e *Engine) ExecuteTraced(stmt *parser.SelectStmt, mode optimizer.Mode) (*Outcome, error) {
+	return e.execute(stmt, mode, true)
+}
+
+func (e *Engine) execute(stmt *parser.SelectStmt, mode optimizer.Mode, traced bool) (*Outcome, error) {
+	optRes, err := e.Opt.Optimize(stmt, mode)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &exec.Context{Store: e.Store, Runtime: e.Runtime, Clock: e.Clock, BatchSize: e.batchSize}
+	var trace *exec.Trace
+	if traced {
+		trace = exec.NewTrace()
+		ctx.Trace = trace
+	}
+	rows, err := exec.Run(ctx, optRes.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Rows: rows, Plan: optRes.Plan, Report: optRes.Report, Trace: trace}, nil
+}
+
+// Plan runs only the optimization phase, without executing and without
+// committing aggregated predicates (EXPLAIN).
+func (e *Engine) Plan(stmt *parser.SelectStmt, mode optimizer.Mode) (*optimizer.Result, error) {
+	mode.DryRun = true
+	return e.Opt.Optimize(stmt, mode)
+}
+
+// Reset discards all materialized state: views, aggregated predicates,
+// counters, and the clock.
+func (e *Engine) Reset() error {
+	if err := e.Store.DropViews(); err != nil {
+		return err
+	}
+	e.Manager.Reset()
+	e.Runtime.ResetCounters()
+	e.Clock.Reset()
+	return nil
+}

@@ -1,0 +1,42 @@
+// Package costs centralizes the profiled engine cost constants shared
+// by the execution engine (which charges them) and the optimizer
+// (whose Eq. 3/Eq. 4 cost model must use the same profile).
+package costs
+
+import "time"
+
+// Profiled engine cost constants charged to the virtual clock. The
+// values reproduce the paper's published measurements (Table 4 and the
+// c_r / c_e profile of §4.2); where the paper gives no number, the
+// chosen value is documented here and in DESIGN.md.
+const (
+	// ReadVideoCost is the per-frame cost of loading a decoded frame
+	// from the storage engine (Table 4's "Read Video" ≈ 22 s / 10 k
+	// frames ≈ 1.8 ms matches the profiled c_r).
+	ReadVideoCost = 1800 * time.Microsecond
+
+	// TableViewReadCost is the per-key cost of reading a detector view
+	// entry (one frame's detections). Table 4 measures "Read View" at
+	// 10 s for a query joining ≈10 k frames of detections, i.e.
+	// ≈1 ms/key once the hash table is warm; the pessimistic profiled
+	// c_r = 1.8 ms of §4.2 remains the optimizer's planning constant.
+	TableViewReadCost = 1000 * time.Microsecond
+
+	// ScalarViewReadCost is the per-key cost of reading one scalar UDF
+	// result; scalar rows are an order of magnitude lighter than
+	// per-frame detection arrays.
+	ScalarViewReadCost = 100 * time.Microsecond
+
+	// ProbeCost is the per-key bookkeeping of the conditional Apply
+	// operator (the Fig. 6(b) "Apply" overhead source).
+	ProbeCost = 50 * time.Microsecond
+
+	// MatRowCost is the per-row cost of appending fresh UDF results to
+	// a materialized view (Fig. 6(b) "Materialization"; the paper notes
+	// it is small thanks to 200 MiB batch writes).
+	MatRowCost = 200 * time.Microsecond
+
+	// RowCost is the per-row overhead of cheap operators (filters,
+	// projections, joins) — Table 4's "Other".
+	RowCost = 2 * time.Microsecond
+)

@@ -1,0 +1,678 @@
+// Package exec is EVA's execution engine: a batch-at-a-time Volcano
+// interpreter over the physical plans of internal/plan. Every operator
+// charges its profiled cost to the virtual clock, so a plan execution
+// yields both results and the simulated time breakdown the evaluation
+// reports (Table 4, Fig. 6).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eva/internal/costs"
+	"eva/internal/expr"
+	"eva/internal/plan"
+	"eva/internal/simclock"
+	"eva/internal/storage"
+	"eva/internal/types"
+	"eva/internal/udf"
+)
+
+// DefaultBatchSize is the number of frames per scan batch.
+const DefaultBatchSize = 256
+
+// Context carries the runtime services a plan execution needs.
+type Context struct {
+	Store     *storage.Engine
+	Runtime   *udf.Runtime
+	Clock     *simclock.Clock
+	BatchSize int
+	// Trace, when set, collects per-operator statistics for this
+	// execution (EXPLAIN ANALYZE). Attach a fresh Trace per Run.
+	Trace *Trace
+
+	traceDepth int
+}
+
+func (c *Context) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// Run executes the plan to completion and returns all result rows.
+func Run(ctx *Context, n plan.Node) (*types.Batch, error) {
+	it, err := build(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	out := types.NewBatch(n.Schema())
+	for {
+		b, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if err := out.AppendBatch(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// iterator produces batches; nil signals end of stream.
+type iterator interface {
+	next() (*types.Batch, error)
+}
+
+func build(ctx *Context, n plan.Node) (iterator, error) {
+	if ctx.Trace != nil {
+		stat := ctx.Trace.register(ctx.traceDepth, n.Describe())
+		ctx.traceDepth++
+		it, err := buildNode(ctx, n)
+		ctx.traceDepth--
+		if err != nil {
+			return nil, err
+		}
+		return &traceIter{in: it, stat: stat}, nil
+	}
+	return buildNode(ctx, n)
+}
+
+func buildNode(ctx *Context, n plan.Node) (iterator, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return newScanIter(ctx, node)
+	case *plan.Filter:
+		in, err := build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{ctx: ctx, in: in, node: node}, nil
+	case *plan.ReuseApply:
+		in, err := build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newApplyIter(ctx, node, in)
+	case *plan.Project:
+		in, err := build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{ctx: ctx, in: in, node: node}, nil
+	case *plan.GroupBy:
+		in, err := build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &groupIter{ctx: ctx, in: in, node: node}, nil
+	case *plan.Sort:
+		in, err := build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{ctx: ctx, in: in, node: node}, nil
+	case *plan.Limit:
+		in, err := build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{in: in, remaining: node.N}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+// rowResolver adapts one batch row to expr.Resolver, routing scalar
+// function calls through the UDF runtime (only inexpensive builtins
+// should remain in expressions after optimization).
+type rowResolver struct {
+	ctx    *Context
+	schema types.Schema
+	batch  *types.Batch
+	row    int
+}
+
+func (r *rowResolver) Resolve(name string) (types.Datum, bool) {
+	i := r.schema.IndexOf(name)
+	if i < 0 {
+		return types.Null, false
+	}
+	return r.batch.At(r.row, i), true
+}
+
+func (r *rowResolver) CallFn(fn string, args []types.Datum) (types.Datum, error) {
+	return r.ctx.Runtime.EvalScalar(fn, args)
+}
+
+// --- Scan ---
+
+type scanIter struct {
+	ctx   *Context
+	video *storage.Video
+	pos   int64
+	hi    int64
+}
+
+func newScanIter(ctx *Context, node *plan.Scan) (*scanIter, error) {
+	v, err := ctx.Store.Video(node.Table)
+	if err != nil {
+		return nil, err
+	}
+	hi := node.Hi
+	if hi < 0 || hi > v.NumFrames() {
+		hi = v.NumFrames()
+	}
+	lo := node.Lo
+	if lo < 0 {
+		lo = 0
+	}
+	return &scanIter{ctx: ctx, video: v, pos: lo, hi: hi}, nil
+}
+
+func (s *scanIter) next() (*types.Batch, error) {
+	if s.pos >= s.hi {
+		return nil, nil
+	}
+	end := s.pos + int64(s.ctx.batchSize())
+	if end > s.hi {
+		end = s.hi
+	}
+	b, err := s.video.Scan(s.pos, end)
+	if err != nil {
+		return nil, err
+	}
+	s.pos = end
+	s.ctx.Clock.ChargePerTuple(simclock.CatReadVideo, costs.ReadVideoCost, b.Len())
+	return b, nil
+}
+
+// --- Filter ---
+
+type filterIter struct {
+	ctx  *Context
+	in   iterator
+	node *plan.Filter
+}
+
+func (f *filterIter) next() (*types.Batch, error) {
+	for {
+		b, err := f.in.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		f.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, b.Len())
+		keep := make([]bool, b.Len())
+		res := &rowResolver{ctx: f.ctx, schema: b.Schema(), batch: b}
+		any := false
+		for r := 0; r < b.Len(); r++ {
+			res.row = r
+			ok, err := expr.EvalBool(f.node.Pred, res)
+			if err != nil {
+				return nil, fmt.Errorf("exec: filter %q: %w", f.node.Pred, err)
+			}
+			keep[r] = ok
+			any = any || ok
+		}
+		if !any {
+			continue
+		}
+		return b.Filter(keep), nil
+	}
+}
+
+// --- ReuseApply ---
+
+type applyIter struct {
+	ctx  *Context
+	in   iterator
+	node *plan.ReuseApply
+
+	keyIdx  []int
+	sources []*storage.View
+	store   *storage.View
+	fuzzy   []*fuzzyIndex // per-source fuzzy bbox indexes (§6 extension)
+
+	pendingRows *types.Batch    // buffered fresh results for the store view
+	pendingKeys [][]types.Datum // buffered processed keys
+	seenPending map[string]bool // keys already buffered this query
+}
+
+func newApplyIter(ctx *Context, node *plan.ReuseApply, in iterator) (*applyIter, error) {
+	a := &applyIter{ctx: ctx, in: in, node: node, seenPending: map[string]bool{}}
+	inSchema := node.Input.Schema()
+	for _, kc := range node.KeyCols {
+		idx := inSchema.IndexOf(kc)
+		if idx < 0 {
+			return nil, fmt.Errorf("exec: apply key column %q not in input %s", kc, inSchema)
+		}
+		a.keyIdx = append(a.keyIdx, idx)
+	}
+	for _, src := range node.Sources {
+		v := ctx.Store.View(src.ViewName)
+		if v == nil {
+			// The view does not exist yet (the signature's first query);
+			// create it so results land somewhere consistent.
+			created, err := ctx.Store.CreateView(src.ViewName, a.viewSchema(inSchema), node.KeyCols)
+			if err != nil {
+				return nil, err
+			}
+			v = created
+		}
+		a.sources = append(a.sources, v)
+	}
+	if node.StoreView != "" {
+		v, err := ctx.Store.CreateView(node.StoreView, a.viewSchema(inSchema), node.KeyCols)
+		if err != nil {
+			return nil, err
+		}
+		a.store = v
+	}
+	if node.FuzzyBBox && !node.TableUDF {
+		if idCol, bboxCol, ok := fuzzyKeyPositions(node.KeyCols, a.viewSchema(inSchema)); ok {
+			for _, view := range a.sources {
+				a.fuzzy = append(a.fuzzy, buildFuzzyIndex(view, idCol, bboxCol))
+			}
+		}
+	}
+	return a, nil
+}
+
+// viewSchema is the stored row layout: key columns then output columns.
+func (a *applyIter) viewSchema(in types.Schema) types.Schema {
+	var sch types.Schema
+	for _, kc := range a.node.KeyCols {
+		sch = append(sch, types.Column{Name: kc, Kind: in.KindOf(kc)})
+	}
+	return sch.Concat(a.node.Out)
+}
+
+func (a *applyIter) next() (*types.Batch, error) {
+	b, err := a.in.next()
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		if err := a.flush(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := types.NewBatchCapacity(a.node.Schema(), b.Len())
+	res := &rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b}
+	args := make([]types.Datum, len(a.node.Args))
+	key := make([]types.Datum, len(a.keyIdx))
+	readCost := costs.TableViewReadCost
+	if !a.node.TableUDF {
+		readCost = costs.ScalarViewReadCost
+	}
+	// Per-batch view snapshots: row indexes from RowsForKey stay valid
+	// because views are append-only.
+	snaps := map[*storage.View]*types.Batch{}
+	snapshot := func(v *storage.View) *types.Batch {
+		s, ok := snaps[v]
+		if !ok {
+			s = v.Scan()
+			snaps[v] = s
+		}
+		return s
+	}
+
+	for r := 0; r < b.Len(); r++ {
+		for i, idx := range a.keyIdx {
+			key[i] = b.At(r, idx)
+		}
+		ek := storage.EncodeKey(key)
+		a.ctx.Runtime.RecordDemand(a.node.Eval, ek)
+		a.ctx.Clock.Charge(simclock.CatApply, costs.ProbeCost)
+
+		served := false
+		for _, view := range a.sources {
+			if !view.HasKey(key) {
+				continue
+			}
+			a.ctx.Runtime.RecordReuse(a.node.Eval)
+			a.ctx.Clock.Charge(simclock.CatReadView, readCost)
+			idxs := view.RowsForKey(key)
+			vb := snapshot(view)
+			nKey := len(a.node.KeyCols)
+			for _, vi := range idxs {
+				row := b.Row(r)
+				for c := nKey; c < len(view.Schema()); c++ {
+					row = append(row, vb.At(vi, c))
+				}
+				out.MustAppendRow(row...)
+			}
+			served = true
+			break
+		}
+		if !served && len(a.fuzzy) > 0 {
+			served = a.serveFuzzy(b, r, out, readCost)
+		}
+		if served {
+			continue
+		}
+
+		// Conditional Apply arm: evaluate the UDF.
+		res.row = r
+		for i, argE := range a.node.Args {
+			v, err := expr.Eval(argE, res)
+			if err != nil {
+				return nil, fmt.Errorf("exec: apply arg %q: %w", argE, err)
+			}
+			args[i] = v
+		}
+		if a.node.TableUDF {
+			if len(args) != 1 || args[0].Kind() != types.KindBytes {
+				return nil, fmt.Errorf("exec: table UDF %s expects a frame argument", a.node.Eval)
+			}
+			rows, err := a.ctx.Runtime.EvalDetector(a.node.Eval, args[0].Bytes())
+			if err != nil {
+				return nil, err
+			}
+			for dr := 0; dr < rows.Len(); dr++ {
+				row := append(b.Row(r), rows.Row(dr)...)
+				out.MustAppendRow(row...)
+			}
+			if err := a.buffer(key, rows); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := a.ctx.Runtime.EvalScalar(a.node.Eval, args)
+			if err != nil {
+				return nil, err
+			}
+			out.MustAppendRow(append(b.Row(r), v)...)
+			single := types.NewBatch(a.node.Out)
+			single.MustAppendRow(v)
+			if err := a.buffer(key, single); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// buffer queues freshly computed results for the store view.
+func (a *applyIter) buffer(key []types.Datum, outs *types.Batch) error {
+	if a.store == nil {
+		return nil
+	}
+	ek := storage.EncodeKey(key)
+	if a.seenPending[ek] {
+		return nil
+	}
+	a.seenPending[ek] = true
+	keyCopy := append([]types.Datum(nil), key...)
+	if outs.Len() == 0 {
+		a.pendingKeys = append(a.pendingKeys, keyCopy)
+	} else {
+		if a.pendingRows == nil {
+			a.pendingRows = types.NewBatch(a.store.Schema())
+		}
+		for r := 0; r < outs.Len(); r++ {
+			row := append(append([]types.Datum(nil), keyCopy...), outs.Row(r)...)
+			if err := a.pendingRows.AppendRow(row...); err != nil {
+				return err
+			}
+		}
+	}
+	// Flush in chunks to bound memory, mirroring EVA's batched
+	// materialization (batch size 200 MiB in the paper).
+	if a.pendingRows != nil && a.pendingRows.Len() >= 8192 {
+		return a.flush()
+	}
+	return nil
+}
+
+func (a *applyIter) flush() error {
+	if a.store == nil {
+		return nil
+	}
+	rows := a.pendingRows
+	keys := a.pendingKeys
+	a.pendingRows = nil
+	a.pendingKeys = nil
+	if rows == nil && len(keys) == 0 {
+		return nil
+	}
+	n, err := a.store.Append(rows, keys)
+	if err != nil {
+		return err
+	}
+	a.ctx.Clock.ChargePerTuple(simclock.CatMaterialize, costs.MatRowCost, n+len(keys))
+	return nil
+}
+
+// --- Project ---
+
+type projectIter struct {
+	ctx  *Context
+	in   iterator
+	node *plan.Project
+}
+
+func (p *projectIter) next() (*types.Batch, error) {
+	b, err := p.in.next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	p.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, b.Len())
+	out := types.NewBatchCapacity(p.node.Schema(), b.Len())
+	res := &rowResolver{ctx: p.ctx, schema: b.Schema(), batch: b}
+	row := make([]types.Datum, len(p.node.Items))
+	for r := 0; r < b.Len(); r++ {
+		res.row = r
+		for i, it := range p.node.Items {
+			v, err := expr.Eval(it.E, res)
+			if err != nil {
+				return nil, fmt.Errorf("exec: project %q: %w", it.E, err)
+			}
+			row[i] = v
+		}
+		out.MustAppendRow(row...)
+	}
+	return out, nil
+}
+
+// --- GroupBy ---
+
+type groupIter struct {
+	ctx  *Context
+	in   iterator
+	node *plan.GroupBy
+	done bool
+}
+
+type aggState struct {
+	keyRow []types.Datum
+	count  []int64
+	sum    []float64
+	min    []types.Datum
+	max    []types.Datum
+}
+
+func (g *groupIter) next() (*types.Batch, error) {
+	if g.done {
+		return nil, nil
+	}
+	g.done = true
+
+	inSchema := g.node.Input.Schema()
+	keyIdx := make([]int, len(g.node.Keys))
+	for i, k := range g.node.Keys {
+		keyIdx[i] = inSchema.IndexOf(k)
+		if keyIdx[i] < 0 {
+			return nil, fmt.Errorf("exec: group key %q not in %s", k, inSchema)
+		}
+	}
+
+	groups := map[string]*aggState{}
+	var order []string
+	for {
+		b, err := g.in.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		g.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, b.Len())
+		res := &rowResolver{ctx: g.ctx, schema: b.Schema(), batch: b}
+		for r := 0; r < b.Len(); r++ {
+			key := make([]types.Datum, len(keyIdx))
+			for i, idx := range keyIdx {
+				key[i] = b.At(r, idx)
+			}
+			ek := storage.EncodeKey(key)
+			st, ok := groups[ek]
+			if !ok {
+				st = &aggState{
+					keyRow: key,
+					count:  make([]int64, len(g.node.Aggs)),
+					sum:    make([]float64, len(g.node.Aggs)),
+					min:    make([]types.Datum, len(g.node.Aggs)),
+					max:    make([]types.Datum, len(g.node.Aggs)),
+				}
+				groups[ek] = st
+				order = append(order, ek)
+			}
+			res.row = r
+			for i, agg := range g.node.Aggs {
+				var v types.Datum
+				if agg.Arg != nil {
+					v, err = expr.Eval(agg.Arg, res)
+					if err != nil {
+						return nil, fmt.Errorf("exec: aggregate arg %q: %w", agg.Arg, err)
+					}
+					if v.IsNull() {
+						continue
+					}
+				}
+				st.count[i]++
+				if agg.Arg != nil && v.Kind().Numeric() {
+					st.sum[i] += v.Float()
+				}
+				if agg.Arg != nil {
+					if st.min[i].IsNull() || types.Compare(v, st.min[i]) < 0 {
+						st.min[i] = v
+					}
+					if st.max[i].IsNull() || types.Compare(v, st.max[i]) > 0 {
+						st.max[i] = v
+					}
+				}
+			}
+		}
+	}
+	// Global aggregate with no input rows still yields one row.
+	if len(g.node.Keys) == 0 && len(order) == 0 {
+		groups[""] = &aggState{
+			count: make([]int64, len(g.node.Aggs)),
+			sum:   make([]float64, len(g.node.Aggs)),
+			min:   make([]types.Datum, len(g.node.Aggs)),
+			max:   make([]types.Datum, len(g.node.Aggs)),
+		}
+		order = append(order, "")
+	}
+	// Deterministic output order.
+	sort.Strings(order)
+
+	out := types.NewBatchCapacity(g.node.Schema(), len(order))
+	for _, ek := range order {
+		st := groups[ek]
+		row := append([]types.Datum(nil), st.keyRow...)
+		for i, agg := range g.node.Aggs {
+			switch agg.Kind {
+			case plan.AggCount:
+				row = append(row, types.NewInt(st.count[i]))
+			case plan.AggSum:
+				row = append(row, types.NewFloat(st.sum[i]))
+			case plan.AggAvg:
+				if st.count[i] == 0 {
+					row = append(row, types.Null)
+				} else {
+					row = append(row, types.NewFloat(st.sum[i]/float64(st.count[i])))
+				}
+			case plan.AggMin:
+				row = append(row, st.min[i])
+			case plan.AggMax:
+				row = append(row, st.max[i])
+			}
+		}
+		out.MustAppendRow(row...)
+	}
+	return out, nil
+}
+
+// --- Limit ---
+
+type limitIter struct {
+	in        iterator
+	remaining int64
+}
+
+func (l *limitIter) next() (*types.Batch, error) {
+	if l.remaining <= 0 {
+		return nil, nil
+	}
+	b, err := l.in.next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if int64(b.Len()) > l.remaining {
+		b = b.Slice(0, int(l.remaining))
+	}
+	l.remaining -= int64(b.Len())
+	return b, nil
+}
+
+// FormatBatch renders a batch as an aligned text table (used by the
+// shell and examples).
+func FormatBatch(b *types.Batch) string {
+	var sb strings.Builder
+	names := b.Schema().Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, b.Len())
+	for r := 0; r < b.Len(); r++ {
+		cells[r] = make([]string, len(names))
+		for c := range names {
+			s := b.At(r, c).String()
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for c, v := range vals {
+			if c > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[c], v)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(names)
+	for c, w := range widths {
+		if c > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", b.Len())
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"testing"
+
+	"eva/internal/catalog"
+	"eva/internal/expr"
+	"eva/internal/plan"
+	"eva/internal/types"
+	"eva/internal/vision"
+)
+
+func carTypeApply(input plan.Node, view string, fuzzy bool) *plan.ReuseApply {
+	ct, _ := catalog.New().UDF("CarType")
+	return &plan.ReuseApply{
+		Input:     input,
+		Args:      []expr.Expr{colx("frame"), colx("bbox")},
+		Sources:   []plan.ApplySource{{UDF: "CarType", ViewName: view}},
+		Eval:      "CarType",
+		StoreView: view,
+		Out:       ct.Outputs,
+		KeyCols:   []string{"bbox", "id"},
+		FuzzyBBox: fuzzy,
+	}
+}
+
+func detectorApply(lo, hi int64, model string) *plan.ReuseApply {
+	return &plan.ReuseApply{
+		Input:    scan(lo, hi),
+		Args:     []expr.Expr{colx("frame")},
+		Eval:     model,
+		TableUDF: true,
+		Out:      catalog.DetectorSchema,
+		KeyCols:  []string{"id"},
+	}
+}
+
+func TestFuzzyIndexLookup(t *testing.T) {
+	ctx := testCtx(t, vision.MediumUADetrac)
+	// Materialize CarType over FRCNN101 boxes.
+	if _, err := Run(ctx, carTypeApply(detectorApply(0, 40, vision.FasterRCNN101), "ct_fuzzy", false)); err != nil {
+		t.Fatal(err)
+	}
+	view := ctx.Store.View("ct_fuzzy")
+	if view == nil || view.Rows() == 0 {
+		t.Fatal("view not materialized")
+	}
+	idCol, bboxCol, ok := fuzzyKeyPositions([]string{"bbox", "id"}, view.Schema())
+	if !ok {
+		t.Fatalf("key positions not found in %s", view.Schema())
+	}
+	idx := buildFuzzyIndex(view, idCol, bboxCol)
+
+	// Probe with the ground-truth box of a detected object: within
+	// jitter tolerance of the stored FRCNN101 box.
+	found := false
+	for f := int64(0); f < 40 && !found; f++ {
+		for _, o := range vision.MediumUADetrac.Objects(f) {
+			if _, ok := idx.lookup(f, vision.FormatBBox(o.X, o.Y, o.W, o.H)); ok {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("fuzzy lookup never matched ground-truth boxes")
+	}
+	// Far-away probes miss.
+	if _, ok := idx.lookup(0, vision.FormatBBox(0.99, 0.99, 0.001, 0.001)); ok {
+		t.Error("distant bbox should not match")
+	}
+	// Unknown frames miss.
+	if _, ok := idx.lookup(99999, vision.FormatBBox(0.5, 0.5, 0.1, 0.1)); ok {
+		t.Error("unknown frame should not match")
+	}
+	// Garbage bboxes miss without error.
+	if _, ok := idx.lookup(0, "not-a-bbox"); ok {
+		t.Error("garbage bbox should not match")
+	}
+}
+
+func TestFuzzyApplyCrossModel(t *testing.T) {
+	ctx := testCtx(t, vision.MediumUADetrac)
+	if _, err := Run(ctx, carTypeApply(detectorApply(0, 40, vision.FasterRCNN101), "ct_x", false)); err != nil {
+		t.Fatal(err)
+	}
+	evalsAfterWarm := ctx.Runtime.CounterSnapshot()["cartype"].Evaluated
+
+	// Exact probing with FRCNN50 boxes misses everything.
+	if _, err := Run(ctx, carTypeApply(detectorApply(0, 40, vision.FasterRCNN50), "ct_x", false)); err != nil {
+		t.Fatal(err)
+	}
+	exactEvals := ctx.Runtime.CounterSnapshot()["cartype"].Evaluated - evalsAfterWarm
+	if exactEvals == 0 {
+		t.Fatal("exact cross-model probing unexpectedly reused")
+	}
+
+	// Fuzzy probing reuses most of them.
+	ctx2 := testCtx(t, vision.MediumUADetrac)
+	if _, err := Run(ctx2, carTypeApply(detectorApply(0, 40, vision.FasterRCNN101), "ct_y", false)); err != nil {
+		t.Fatal(err)
+	}
+	warm2 := ctx2.Runtime.CounterSnapshot()["cartype"].Evaluated
+	if _, err := Run(ctx2, carTypeApply(detectorApply(0, 40, vision.FasterRCNN50), "ct_y", true)); err != nil {
+		t.Fatal(err)
+	}
+	fuzzyEvals := ctx2.Runtime.CounterSnapshot()["cartype"].Evaluated - warm2
+	if fuzzyEvals*4 > exactEvals {
+		t.Errorf("fuzzy evals = %d, want ≤ 25%% of exact %d", fuzzyEvals, exactEvals)
+	}
+}
+
+func TestFuzzyDisabledForTableUDFs(t *testing.T) {
+	ctx := testCtx(t, vision.MediumUADetrac)
+	node := detectorApply(0, 5, vision.FasterRCNN50)
+	node.FuzzyBBox = true // must be ignored for table UDFs
+	if _, err := Run(ctx, node); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzyKeyPositions(t *testing.T) {
+	sch := types.MustSchema(
+		types.Column{Name: "bbox", Kind: types.KindString},
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "out", Kind: types.KindString},
+	)
+	id, bbox, ok := fuzzyKeyPositions([]string{"bbox", "id"}, sch)
+	if !ok || id != 1 || bbox != 0 {
+		t.Errorf("positions = %d,%d,%v", id, bbox, ok)
+	}
+	if _, _, ok := fuzzyKeyPositions([]string{"id"}, sch); ok {
+		t.Error("bbox-less keys cannot be fuzzy")
+	}
+}

@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"eva/internal/costs"
+	"eva/internal/plan"
+	"eva/internal/simclock"
+	"eva/internal/types"
+)
+
+// sortIter is the blocking Sort operator: it drains its input,
+// orders rows by the sort keys (NULLs first, per the datum ordering),
+// and emits one batch.
+type sortIter struct {
+	ctx  *Context
+	in   iterator
+	node *plan.Sort
+	done bool
+}
+
+func (s *sortIter) next() (*types.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+
+	all := types.NewBatch(s.node.Schema())
+	for {
+		b, err := s.in.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := all.AppendBatch(b); err != nil {
+			return nil, err
+		}
+	}
+	s.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, all.Len())
+
+	keyIdx := make([]int, len(s.node.Keys))
+	for i, k := range s.node.Keys {
+		keyIdx[i] = all.Schema().IndexOf(k.Col)
+		if keyIdx[i] < 0 {
+			return nil, fmt.Errorf("exec: sort key %q not in %s", k.Col, all.Schema())
+		}
+	}
+
+	order := make([]int, all.Len())
+	for i := range order {
+		order[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(order, func(a, b int) bool {
+		for i, idx := range keyIdx {
+			da, db := all.At(order[a], idx), all.At(order[b], idx)
+			if !types.Comparable(da, db) {
+				if sortErr == nil {
+					sortErr = fmt.Errorf("exec: sort key %q mixes incomparable kinds", s.node.Keys[i].Col)
+				}
+				return false
+			}
+			c := types.Compare(da, db)
+			if c == 0 {
+				continue
+			}
+			if s.node.Keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+
+	out := types.NewBatchCapacity(all.Schema(), all.Len())
+	for _, r := range order {
+		out.MustAppendRow(all.Row(r)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"testing"
+
+	"eva/internal/plan"
+	"eva/internal/vision"
+)
+
+func TestSortAscDesc(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	node := &plan.Sort{Input: scan(0, 10), Keys: []plan.SortKey{{Col: "id", Desc: true}}}
+	out, err := Run(ctx, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 || out.At(0, 0).Int() != 9 || out.At(9, 0).Int() != 0 {
+		t.Errorf("desc sort wrong: first=%v last=%v", out.At(0, 0), out.At(9, 0))
+	}
+	node = &plan.Sort{Input: scan(0, 10), Keys: []plan.SortKey{{Col: "id"}}}
+	out, err = Run(ctx, node)
+	if err != nil || out.At(0, 0).Int() != 0 {
+		t.Errorf("asc sort wrong: %v, %v", out.At(0, 0), err)
+	}
+}
+
+func TestSortMultiKeyOverDetections(t *testing.T) {
+	ctx := testCtx(t, vision.MediumUADetrac)
+	det := detectorApply(0, 10, vision.FasterRCNN50)
+	node := &plan.Sort{Input: det, Keys: []plan.SortKey{
+		{Col: "label"},
+		{Col: "area", Desc: true},
+	}}
+	out, err := Run(ctx, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() < 2 {
+		t.Skip("too few detections")
+	}
+	labelIdx := out.Schema().IndexOf("label")
+	areaIdx := out.Schema().IndexOf("area")
+	for r := 1; r < out.Len(); r++ {
+		prev, cur := out.At(r-1, labelIdx).Str(), out.At(r, labelIdx).Str()
+		if prev > cur {
+			t.Fatalf("row %d: labels out of order %q > %q", r, prev, cur)
+		}
+		if prev == cur && out.At(r-1, areaIdx).Float() < out.At(r, areaIdx).Float() {
+			t.Fatalf("row %d: areas out of order within label", r)
+		}
+	}
+}
+
+func TestSortErrors(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	node := &plan.Sort{Input: scan(0, 5), Keys: []plan.SortKey{{Col: "ghost"}}}
+	if _, err := Run(ctx, node); err == nil {
+		t.Error("unknown sort key should error")
+	}
+	// Empty input sorts to empty output.
+	empty := &plan.Sort{Input: scan(3, 3), Keys: []plan.SortKey{{Col: "id"}}}
+	out, err := Run(ctx, empty)
+	if err != nil || out.Len() != 0 {
+		t.Errorf("empty sort: %d rows, %v", out.Len(), err)
+	}
+}

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"eva/internal/types"
+)
+
+// OperatorStat is one plan operator's runtime statistics, collected
+// when a Trace is attached to the Context (EXPLAIN ANALYZE).
+type OperatorStat struct {
+	Depth    int
+	Describe string
+	Rows     int
+	Batches  int
+	Wall     time.Duration
+}
+
+// Trace collects per-operator statistics during one plan execution.
+// Attach a fresh Trace to Context.Trace before Run.
+type Trace struct {
+	mu    sync.Mutex
+	stats []*OperatorStat
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Stats returns the collected operator statistics in plan order
+// (pre-order, outermost operator first).
+func (t *Trace) Stats() []OperatorStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]OperatorStat, len(t.stats))
+	for i, s := range t.stats {
+		out[i] = *s
+	}
+	return out
+}
+
+// String renders the trace as an EXPLAIN ANALYZE style tree.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, s := range t.Stats() {
+		fmt.Fprintf(&sb, "%s%s  (rows=%d batches=%d wall=%s)\n",
+			strings.Repeat("  ", s.Depth), s.Describe, s.Rows, s.Batches, s.Wall.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+func (t *Trace) register(depth int, describe string) *OperatorStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &OperatorStat{Depth: depth, Describe: describe}
+	t.stats = append(t.stats, s)
+	return s
+}
+
+// traceIter wraps an operator iterator with row/batch/time accounting.
+type traceIter struct {
+	in   iterator
+	stat *OperatorStat
+}
+
+func (ti *traceIter) next() (*types.Batch, error) {
+	start := time.Now()
+	b, err := ti.in.next()
+	ti.stat.Wall += time.Since(start)
+	if b != nil {
+		ti.stat.Batches++
+		ti.stat.Rows += b.Len()
+	}
+	return b, err
+}

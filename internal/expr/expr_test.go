@@ -1,0 +1,250 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"eva/internal/types"
+)
+
+func TestCanonicalString(t *testing.T) {
+	e := NewAnd(
+		NewCmp(OpGt, NewColumn("ID"), NewConst(types.NewInt(10))),
+		NewCmp(OpEq, NewCall("CarType", NewColumn("frame"), NewColumn("bbox")), NewConst(types.NewString("Nissan"))),
+	)
+	want := "(id > 10 AND cartype(frame, bbox) = 'Nissan')"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCmpOpHelpers(t *testing.T) {
+	negs := map[CmpOp]CmpOp{OpEq: OpNe, OpNe: OpEq, OpLt: OpGe, OpLe: OpGt, OpGt: OpLe, OpGe: OpLt}
+	for op, want := range negs {
+		if got := op.Negate(); got != want {
+			t.Errorf("%v.Negate() = %v, want %v", op, got, want)
+		}
+	}
+	flips := map[CmpOp]CmpOp{OpLt: OpGt, OpLe: OpGe, OpGt: OpLt, OpGe: OpLe, OpEq: OpEq, OpNe: OpNe}
+	for op, want := range flips {
+		if got := op.Flip(); got != want {
+			t.Errorf("%v.Flip() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestEqualUsesStructure(t *testing.T) {
+	a := NewCmp(OpGt, NewColumn("id"), NewConst(types.NewInt(5)))
+	b := NewCmp(OpGt, NewColumn("ID"), NewConst(types.NewInt(5)))
+	c := NewCmp(OpGe, NewColumn("id"), NewConst(types.NewInt(5)))
+	if !Equal(a, b) {
+		t.Error("case-insensitive columns should be equal")
+	}
+	if Equal(a, c) {
+		t.Error("different operators should not be equal")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestSplitAndCombineConjuncts(t *testing.T) {
+	a := NewCmp(OpGt, NewColumn("id"), NewConst(types.NewInt(1)))
+	b := NewCmp(OpEq, NewColumn("label"), NewConst(types.NewString("car")))
+	c := NewCmp(OpLt, NewColumn("area"), NewConst(types.NewFloat(0.5)))
+	e := NewAnd(NewAnd(a, b), c)
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("SplitConjuncts produced %d parts", len(parts))
+	}
+	// An OR is a single conjunct.
+	or := NewOr(a, b)
+	if got := SplitConjuncts(or); len(got) != 1 {
+		t.Errorf("OR split into %d parts", len(got))
+	}
+	re := CombineConjuncts(parts)
+	if !Equal(e, re) {
+		t.Errorf("recombine: %q != %q", re, e)
+	}
+	if CombineConjuncts(nil) != nil {
+		t.Error("empty conjunct list should combine to nil")
+	}
+	if got := CombineConjuncts([]Expr{nil, a, nil}); !Equal(got, a) {
+		t.Errorf("nil-tolerant combine = %q", got)
+	}
+}
+
+func TestCollectCallsAndColumns(t *testing.T) {
+	e := NewAnd(
+		NewCmp(OpEq, NewCall("ColorDet", NewColumn("frame"), NewColumn("bbox")), NewConst(types.NewString("Gray"))),
+		NewCmp(OpGt, NewCall("area", NewColumn("bbox")), NewConst(types.NewFloat(0.3))),
+	)
+	calls := CollectCalls(e)
+	if len(calls) != 2 || calls[0].Fn != "ColorDet" || calls[1].Fn != "area" {
+		t.Errorf("CollectCalls = %v", calls)
+	}
+	cols := CollectColumns(e)
+	if len(cols) != 2 {
+		t.Errorf("CollectColumns = %v, want frame,bbox once each", cols)
+	}
+}
+
+func TestRewriteReplacesCalls(t *testing.T) {
+	call := NewCall("CarType", NewColumn("frame"), NewColumn("bbox"))
+	e := NewCmp(OpEq, call, NewConst(types.NewString("Nissan")))
+	out := Rewrite(e, func(n Expr) Expr {
+		if c, ok := n.(*Call); ok && strings.EqualFold(c.Fn, "CarType") {
+			return NewColumn("cartype_out")
+		}
+		return n
+	})
+	if got := out.String(); got != "cartype_out = 'Nissan'" {
+		t.Errorf("rewrite = %q", got)
+	}
+	// Original untouched.
+	if !strings.Contains(e.String(), "cartype(") {
+		t.Error("rewrite mutated the original tree")
+	}
+}
+
+func row(vals map[string]types.Datum) MapResolver {
+	return MapResolver{Cols: vals, Fns: map[string]func([]types.Datum) (types.Datum, error){
+		"area": func(args []types.Datum) (types.Datum, error) {
+			return types.NewFloat(args[0].Float() * 2), nil
+		},
+	}}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	r := row(map[string]types.Datum{
+		"id":    types.NewInt(42),
+		"label": types.NewString("car"),
+		"area":  types.NewFloat(0.4),
+		"miss":  types.Null,
+	})
+	tests := []struct {
+		e    Expr
+		want bool
+	}{
+		{NewCmp(OpGt, NewColumn("id"), NewConst(types.NewInt(10))), true},
+		{NewCmp(OpLe, NewColumn("id"), NewConst(types.NewInt(10))), false},
+		{NewCmp(OpEq, NewColumn("label"), NewConst(types.NewString("car"))), true},
+		{NewCmp(OpNe, NewColumn("label"), NewConst(types.NewString("bus"))), true},
+		{NewCmp(OpGe, NewColumn("area"), NewConst(types.NewFloat(0.4))), true},
+		{NewCmp(OpEq, NewColumn("miss"), NewConst(types.NewInt(0))), false}, // NULL compares false
+		{NewIsNull(NewColumn("miss")), true},
+		{NewIsNull(NewColumn("id")), false},
+		{NewNot(NewCmp(OpGt, NewColumn("id"), NewConst(types.NewInt(100)))), true},
+		{NewAnd(NewCmp(OpGt, NewColumn("id"), NewConst(types.NewInt(10))), NewCmp(OpEq, NewColumn("label"), NewConst(types.NewString("car")))), true},
+		{NewOr(NewCmp(OpGt, NewColumn("id"), NewConst(types.NewInt(100))), NewCmp(OpEq, NewColumn("label"), NewConst(types.NewString("car")))), true},
+	}
+	for _, tt := range tests {
+		got, err := EvalBool(tt.e, r)
+		if err != nil {
+			t.Fatalf("%q: %v", tt.e, err)
+		}
+		if got != tt.want {
+			t.Errorf("%q = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestEvalNilPredicateIsTrue(t *testing.T) {
+	got, err := EvalBool(nil, row(nil))
+	if err != nil || !got {
+		t.Errorf("nil predicate = %v, %v; want true", got, err)
+	}
+}
+
+func TestEvalArith(t *testing.T) {
+	r := row(map[string]types.Datum{"id": types.NewInt(7), "area": types.NewFloat(0.5)})
+	tests := []struct {
+		e    Expr
+		want types.Datum
+	}{
+		{NewArith(OpAdd, NewColumn("id"), NewConst(types.NewInt(3))), types.NewInt(10)},
+		{NewArith(OpSub, NewColumn("id"), NewConst(types.NewInt(3))), types.NewInt(4)},
+		{NewArith(OpMul, NewColumn("id"), NewConst(types.NewInt(3))), types.NewInt(21)},
+		{NewArith(OpDiv, NewColumn("id"), NewConst(types.NewInt(2))), types.NewInt(3)},
+		{NewArith(OpMod, NewColumn("id"), NewConst(types.NewInt(4))), types.NewInt(3)},
+		{NewArith(OpMul, NewColumn("area"), NewConst(types.NewFloat(2))), types.NewFloat(1)},
+		{NewArith(OpAdd, NewColumn("id"), NewConst(types.NewFloat(0.5))), types.NewFloat(7.5)},
+	}
+	for _, tt := range tests {
+		got, err := Eval(tt.e, r)
+		if err != nil {
+			t.Fatalf("%q: %v", tt.e, err)
+		}
+		if !types.Equal(got, tt.want) {
+			t.Errorf("%q = %v, want %v", tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestEvalArithErrors(t *testing.T) {
+	r := row(map[string]types.Datum{"id": types.NewInt(7), "label": types.NewString("car")})
+	bad := []Expr{
+		NewArith(OpDiv, NewColumn("id"), NewConst(types.NewInt(0))),
+		NewArith(OpMod, NewColumn("id"), NewConst(types.NewInt(0))),
+		NewArith(OpAdd, NewColumn("label"), NewConst(types.NewInt(1))),
+		NewArith(OpDiv, NewConst(types.NewFloat(1)), NewConst(types.NewFloat(0))),
+		NewArith(OpMod, NewConst(types.NewFloat(1)), NewConst(types.NewFloat(2))),
+	}
+	for _, e := range bad {
+		if _, err := Eval(e, r); err == nil {
+			t.Errorf("%q: expected error", e)
+		}
+	}
+	// NULL propagates silently through arithmetic.
+	got, err := Eval(NewArith(OpAdd, NewConst(types.Null), NewConst(types.NewInt(1))), r)
+	if err != nil || !got.IsNull() {
+		t.Errorf("NULL + 1 = %v, %v; want NULL", got, err)
+	}
+}
+
+func TestEvalCallAndErrors(t *testing.T) {
+	r := row(map[string]types.Datum{"area": types.NewFloat(0.25)})
+	got, err := Eval(NewCall("AREA", NewColumn("area")), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float() != 0.5 {
+		t.Errorf("area(0.25) = %v", got)
+	}
+	if _, err := Eval(NewCall("nope"), r); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := Eval(NewColumn("ghost"), r); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := Eval(NewCmp(OpEq, NewColumn("area"), NewConst(types.NewString("x"))), r); err == nil {
+		t.Error("incomparable kinds should error")
+	}
+	if _, err := EvalBool(NewArith(OpAdd, NewConst(types.NewInt(1)), NewConst(types.NewInt(1))), r); err == nil {
+		t.Error("non-boolean predicate should error")
+	}
+	if _, err := Eval(Star{}, r); err == nil {
+		t.Error("bare * should error")
+	}
+}
+
+func TestShortCircuitSkipsErrors(t *testing.T) {
+	r := row(map[string]types.Datum{"id": types.NewInt(1)})
+	bad := NewColumn("ghost")
+	// id > 5 is false, so AND must not evaluate the bad branch.
+	e := NewAnd(NewCmp(OpGt, NewColumn("id"), NewConst(types.NewInt(5))), bad)
+	if got, err := EvalBool(e, r); err != nil || got {
+		t.Errorf("short-circuit AND = %v, %v", got, err)
+	}
+	e2 := NewOr(NewCmp(OpLt, NewColumn("id"), NewConst(types.NewInt(5))), bad)
+	if got, err := EvalBool(e2, r); err != nil || !got {
+		t.Errorf("short-circuit OR = %v, %v", got, err)
+	}
+}
+
+func TestCallAccuracyRendering(t *testing.T) {
+	c := &Call{Fn: "ObjectDetector", Args: []Expr{NewColumn("frame")}, Accuracy: "HIGH"}
+	if got := c.String(); got != "objectdetector(frame) accuracy 'high'" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package parser
+
+import (
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+// Statement is a parsed EVA-QL statement.
+type Statement interface{ stmt() }
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Expr  expr.Expr
+	Alias string
+	Star  bool
+}
+
+// ApplyClause is the CROSS APPLY <udf>(<args>) [ACCURACY '<level>']
+// clause that connects a video with a table-valued UDF.
+type ApplyClause struct {
+	Fn       string
+	Args     []expr.Expr
+	Accuracy string
+}
+
+// OrderKey is one ORDER BY column.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    string
+	Apply   *ApplyClause
+	Where   expr.Expr
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int64 // -1 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// ColDef is one column in a CREATE UDF INPUT/OUTPUT list. TypeName
+// preserves the declared EVA-QL type (e.g. "NDARRAY UINT8(3, ANYDIM,
+// ANYDIM)"); Kind is its mapping into the execution type system.
+type ColDef struct {
+	Name     string
+	TypeName string
+	Kind     types.Kind
+}
+
+// CreateUDFStmt is a CREATE [OR REPLACE] UDF statement (Listing 2).
+type CreateUDFStmt struct {
+	Name        string
+	OrReplace   bool
+	Inputs      []ColDef
+	Outputs     []ColDef
+	Impl        string
+	LogicalType string
+	Properties  map[string]string
+}
+
+func (*CreateUDFStmt) stmt() {}
+
+// LoadStmt is LOAD VIDEO '<dataset>' INTO <table>.
+type LoadStmt struct {
+	Dataset string
+	Table   string
+}
+
+func (*LoadStmt) stmt() {}
+
+// ShowStmt is SHOW UDFS | TABLES | VIEWS (shell conveniences).
+type ShowStmt struct {
+	What string
+}
+
+func (*ShowStmt) stmt() {}
+
+// ExplainStmt is EXPLAIN [ANALYZE] <select>: show the plan; with
+// ANALYZE, execute it and report per-operator statistics.
+type ExplainStmt struct {
+	Select  *SelectStmt
+	Analyze bool
+}
+
+func (*ExplainStmt) stmt() {}
+
+// DropViewsStmt is DROP VIEWS: discard all materialized UDF results
+// and reset the aggregated predicates.
+type DropViewsStmt struct{}
+
+func (*DropViewsStmt) stmt() {}

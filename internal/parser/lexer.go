@@ -1,0 +1,166 @@
+// Package parser implements the EVA-QL front end: a hand-written lexer
+// and recursive-descent parser producing statement ASTs over the
+// expression trees of internal/expr. The grammar covers the statements
+// the paper's workloads use: SELECT ... FROM ... CROSS APPLY ...
+// ACCURACY ... WHERE ... GROUP BY ... LIMIT, CREATE [OR REPLACE] UDF
+// (Listing 2), and LOAD VIDEO.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes an EVA-QL string.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex scans the entire input. Errors carry byte positions.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if !l.lexSymbol() {
+				return nil, fmt.Errorf("parser: unexpected character %q at position %d", c, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !isDigit(c) {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("parser: unterminated string starting at position %d", start)
+}
+
+// twoCharSymbols lists the multi-character operators.
+var twoCharSymbols = []string{"<=", ">=", "!=", "<>"}
+
+func (l *lexer) lexSymbol() bool {
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.tokens = append(l.tokens, token{kind: tokSymbol, text: s, pos: l.pos})
+			l.pos += len(s)
+			return true
+		}
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', ';', '=', '<', '>', '+', '-', '*', '/', '%':
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,734 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+// Parse parses a single EVA-QL statement (a trailing semicolon is
+// optional).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("parser: expected one statement, found %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	var out []Statement
+	for {
+		for p.acceptSymbol(";") {
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.acceptSymbol(";") && p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' or end of input, found %s", p.peek())
+		}
+	}
+	return out, nil
+}
+
+type parser struct {
+	tokens []token
+	idx    int
+}
+
+func (p *parser) peek() token { return p.tokens[p.idx] }
+func (p *parser) next() token { t := p.tokens[p.idx]; p.idx++; return t }
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("parser: "+format+" (at position %d)", append(args, p.peek().pos)...)
+}
+
+// acceptKeyword consumes the token if it is the given keyword
+// (case-insensitive).
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.idx++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.idx++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	p.idx++
+	return t.text, nil
+}
+
+func (p *parser) expectString() (string, error) {
+	t := p.peek()
+	if t.kind != tokString {
+		return "", p.errf("expected string literal, found %s", t)
+	}
+	p.idx++
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("SELECT"):
+		return p.selectStmt()
+	case p.acceptKeyword("CREATE"):
+		return p.createUDF()
+	case p.acceptKeyword("LOAD"):
+		return p.loadStmt()
+	case p.acceptKeyword("SHOW"):
+		what, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStmt{What: strings.ToUpper(what)}, nil
+	case p.acceptKeyword("EXPLAIN"):
+		analyze := p.acceptKeyword("ANALYZE")
+		if err := p.expectKeyword("SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
+	case p.acceptKeyword("DROP"):
+		if err := p.expectKeyword("VIEWS"); err != nil {
+			return nil, err
+		}
+		return &DropViewsStmt{}, nil
+	default:
+		return nil, p.errf("expected SELECT, CREATE, LOAD, SHOW, EXPLAIN, or DROP, found %s", p.peek())
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	s := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s.From = from
+
+	if p.acceptKeyword("CROSS") {
+		if err := p.expectKeyword("APPLY"); err != nil {
+			return nil, err
+		}
+		apply, err := p.applyClause()
+		if err != nil {
+			return nil, err
+		}
+		s.Apply = apply
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: col}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, key)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %s", t)
+		}
+		p.idx++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.orExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) applyClause() (*ApplyClause, error) {
+	fn, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var args []expr.Expr
+	if !p.acceptSymbol(")") {
+		for {
+			a, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ac := &ApplyClause{Fn: fn, Args: args}
+	if p.acceptKeyword("ACCURACY") {
+		level, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		ac.Accuracy = level
+	}
+	return ac, nil
+}
+
+// Expression grammar with standard precedence:
+//
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | cmpExpr
+//	cmpExpr  := addExpr ((= != < <= > >=) addExpr | IS [NOT] NULL)?
+//	addExpr  := mulExpr ((+ -) mulExpr)*
+//	mulExpr  := unary ((* / %) unary)*
+//	unary    := - unary | primary
+//	primary  := number | string | TRUE | FALSE | NULL | '(' orExpr ')'
+//	          | ident '(' args ')' [ACCURACY str] | ident | COUNT '(' * ')'
+func (p *parser) orExpr() (expr.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewOr(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr.Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewAnd(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(e), nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.OpEq, "!=": expr.OpNe, "<>": expr.OpNe,
+	"<": expr.OpLt, "<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) cmpExpr() (expr.Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.idx++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewCmp(op, l, r), nil
+		}
+	}
+	if p.acceptKeyword("IS") {
+		negated := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		var e expr.Expr = expr.NewIsNull(l)
+		if negated {
+			e = expr.NewNot(e)
+		}
+		return e, nil
+	}
+	return l, nil
+}
+
+var addOps = map[string]expr.ArithOp{"+": expr.OpAdd, "-": expr.OpSub}
+var mulOps = map[string]expr.ArithOp{"*": expr.OpMul, "/": expr.OpDiv, "%": expr.OpMod}
+
+func (p *parser) addExpr() (expr.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		op, ok := addOps[t.text]
+		if t.kind != tokSymbol || !ok {
+			return l, nil
+		}
+		p.idx++
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewArith(op, l, r)
+	}
+}
+
+func (p *parser) mulExpr() (expr.Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		op, ok := mulOps[t.text]
+		if t.kind != tokSymbol || !ok {
+			return l, nil
+		}
+		p.idx++
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewArith(op, l, r)
+	}
+}
+
+func (p *parser) unaryExpr() (expr.Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals.
+		if c, ok := e.(*expr.Const); ok {
+			switch c.Val.Kind() {
+			case types.KindInt:
+				return expr.NewConst(types.NewInt(-c.Val.Int())), nil
+			case types.KindFloat:
+				return expr.NewConst(types.NewFloat(-c.Val.Float())), nil
+			}
+		}
+		return expr.NewArith(expr.OpSub, expr.NewConst(types.NewInt(0)), e), nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.idx++
+		if strings.ContainsRune(t.text, '.') {
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return expr.NewConst(types.NewFloat(v)), nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return expr.NewConst(types.NewInt(v)), nil
+	case tokString:
+		p.idx++
+		return expr.NewConst(types.NewString(t.text)), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.idx++
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %s", t)
+	case tokIdent:
+		switch {
+		case strings.EqualFold(t.text, "TRUE"):
+			p.idx++
+			return expr.NewConst(types.NewBool(true)), nil
+		case strings.EqualFold(t.text, "FALSE"):
+			p.idx++
+			return expr.NewConst(types.NewBool(false)), nil
+		case strings.EqualFold(t.text, "NULL"):
+			p.idx++
+			return expr.NewConst(types.Null), nil
+		}
+		p.idx++
+		if p.acceptSymbol("(") {
+			return p.finishCall(t.text)
+		}
+		return expr.NewColumn(t.text), nil
+	default:
+		return nil, p.errf("unexpected %s", t)
+	}
+}
+
+func (p *parser) finishCall(fn string) (expr.Expr, error) {
+	call := &expr.Call{Fn: fn}
+	if p.acceptSymbol(")") {
+		return p.maybeAccuracy(call)
+	}
+	// COUNT(*) and friends.
+	if p.acceptSymbol("*") {
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		call.Args = []expr.Expr{expr.Star{}}
+		return call, nil
+	}
+	for {
+		a, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+		if p.acceptSymbol(")") {
+			break
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+	}
+	return p.maybeAccuracy(call)
+}
+
+func (p *parser) maybeAccuracy(call *expr.Call) (expr.Expr, error) {
+	if p.acceptKeyword("ACCURACY") {
+		level, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		call.Accuracy = level
+	}
+	return call, nil
+}
+
+// createUDF parses CREATE [OR REPLACE] UDF per Listing 2.
+func (p *parser) createUDF() (*CreateUDFStmt, error) {
+	s := &CreateUDFStmt{Properties: map[string]string{}}
+	if p.acceptKeyword("OR") {
+		if err := p.expectKeyword("REPLACE"); err != nil {
+			return nil, err
+		}
+		s.OrReplace = true
+	}
+	if err := p.expectKeyword("UDF"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name
+	for {
+		switch {
+		case p.acceptKeyword("INPUT"):
+			if s.Inputs, err = p.colDefList(); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("OUTPUT"):
+			if s.Outputs, err = p.colDefList(); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("IMPL"):
+			if err := p.expectSymbol("="); err != nil {
+				return nil, err
+			}
+			if s.Impl, err = p.expectString(); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("LOGICAL_TYPE"):
+			if err := p.expectSymbol("="); err != nil {
+				return nil, err
+			}
+			if s.LogicalType, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("PROPERTIES"):
+			if err := p.properties(s.Properties); err != nil {
+				return nil, err
+			}
+		default:
+			if s.Impl == "" && len(s.Outputs) == 0 {
+				return nil, p.errf("CREATE UDF %s needs at least IMPL or OUTPUT, found %s", s.Name, p.peek())
+			}
+			return s, nil
+		}
+	}
+}
+
+func (p *parser) colDefList() ([]ColDef, error) {
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var out []ColDef
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typeName, kind, err := p.typeDecl()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ColDef{Name: name, TypeName: typeName, Kind: kind})
+		if p.acceptSymbol(")") {
+			return out, nil
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// typeDecl parses a column type, accepting both the simple SQL names
+// and the Listing 2 NDARRAY forms ("NDARRAY UINT8(3, ANYDIM, ANYDIM)",
+// "NDARRAY STR(ANYDIM)", "NDARRAY FLOAT32(ANYDIM, 4)").
+func (p *parser) typeDecl() (string, types.Kind, error) {
+	base, err := p.expectIdent()
+	if err != nil {
+		return "", types.KindNull, err
+	}
+	parts := []string{strings.ToUpper(base)}
+	if strings.EqualFold(base, "NDARRAY") {
+		elem, err := p.expectIdent()
+		if err != nil {
+			return "", types.KindNull, err
+		}
+		parts = append(parts, strings.ToUpper(elem))
+	}
+	if p.acceptSymbol("(") {
+		var dims []string
+		for {
+			t := p.next()
+			if t.kind != tokIdent && t.kind != tokNumber {
+				return "", types.KindNull, p.errf("bad type dimension %s", t)
+			}
+			dims = append(dims, strings.ToUpper(t.text))
+			if p.acceptSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return "", types.KindNull, err
+			}
+		}
+		parts = append(parts, "("+strings.Join(dims, ", ")+")")
+	}
+	typeName := strings.Join(parts[:min(2, len(parts))], " ")
+	if len(parts) > 2 || (len(parts) == 2 && strings.HasPrefix(parts[len(parts)-1], "(")) {
+		typeName = strings.Join(parts, " ")
+		typeName = strings.Replace(typeName, " (", "(", 1)
+	}
+	return typeName, kindForType(parts), nil
+}
+
+func kindForType(parts []string) types.Kind {
+	switch parts[0] {
+	case "INTEGER", "INT", "BIGINT":
+		return types.KindInt
+	case "FLOAT", "DOUBLE", "REAL":
+		return types.KindFloat
+	case "TEXT", "STRING", "VARCHAR":
+		return types.KindString
+	case "BOOLEAN", "BOOL":
+		return types.KindBool
+	case "BYTES", "BLOB":
+		return types.KindBytes
+	case "NDARRAY":
+		if len(parts) > 1 && strings.HasPrefix(parts[1], "STR") {
+			return types.KindString
+		}
+		return types.KindBytes
+	default:
+		return types.KindBytes
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// properties parses PROPERTIES = ('K' = 'V', ...).
+func (p *parser) properties(into map[string]string) error {
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	for {
+		k, err := p.expectString()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return err
+		}
+		v, err := p.expectString()
+		if err != nil {
+			return err
+		}
+		into[strings.ToUpper(k)] = v
+		if p.acceptSymbol(")") {
+			return nil
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return err
+		}
+	}
+}
+
+// loadStmt parses LOAD VIDEO '<dataset>' INTO <table>.
+func (p *parser) loadStmt() (*LoadStmt, error) {
+	if err := p.expectKeyword("VIDEO"); err != nil {
+		return nil, err
+	}
+	ds, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &LoadStmt{Dataset: ds, Table: table}, nil
+}

@@ -1,0 +1,256 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+func parseSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	sel, ok := s.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", src, s)
+	}
+	return sel
+}
+
+func TestParseVBenchQuery(t *testing.T) {
+	// Table 1's Q3 shape.
+	src := `SELECT id, bbox FROM VIDEO CROSS APPLY FasterRCNNResnet50(frame)
+		WHERE id < 10000 AND area > 0.25 AND label = 'car'
+		AND CarType(frame, bbox) = 'Nissan' AND ColorDet(frame, bbox) = 'Gray';`
+	s := parseSelect(t, src)
+	if len(s.Items) != 2 || s.Items[0].Expr.String() != "id" {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if s.From != "VIDEO" {
+		t.Errorf("from = %q", s.From)
+	}
+	if s.Apply == nil || s.Apply.Fn != "FasterRCNNResnet50" || len(s.Apply.Args) != 1 {
+		t.Fatalf("apply = %+v", s.Apply)
+	}
+	conj := expr.SplitConjuncts(s.Where)
+	if len(conj) != 5 {
+		t.Fatalf("conjuncts = %d: %s", len(conj), s.Where)
+	}
+	if got := conj[3].String(); got != "cartype(frame, bbox) = 'Nissan'" {
+		t.Errorf("conjunct 3 = %q", got)
+	}
+	if s.Limit != -1 || s.GroupBy != nil {
+		t.Errorf("unexpected limit/groupby: %+v", s)
+	}
+}
+
+func TestParseAccuracyAndGroupBy(t *testing.T) {
+	// Q4 of Listing 1.
+	src := `SELECT id, COUNT(*) FROM VIDEO CROSS APPLY
+		ObjectDetector(frame) ACCURACY 'LOW'
+		WHERE label = 'car' AND area > 0.15 GROUP BY id`
+	s := parseSelect(t, src)
+	if s.Apply.Accuracy != "LOW" {
+		t.Errorf("accuracy = %q", s.Apply.Accuracy)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "id" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+	call, ok := s.Items[1].Expr.(*expr.Call)
+	if !ok || !strings.EqualFold(call.Fn, "COUNT") {
+		t.Fatalf("item 1 = %v", s.Items[1].Expr)
+	}
+	if _, isStar := call.Args[0].(expr.Star); !isStar {
+		t.Error("COUNT(*) should carry a Star arg")
+	}
+}
+
+func TestParseStarLimitAlias(t *testing.T) {
+	s := parseSelect(t, "SELECT *, area AS a FROM video WHERE id >= 5 LIMIT 10")
+	if !s.Items[0].Star {
+		t.Error("star item missing")
+	}
+	if s.Items[1].Alias != "a" {
+		t.Errorf("alias = %q", s.Items[1].Alias)
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParsePredicateStructure(t *testing.T) {
+	s := parseSelect(t, `SELECT id FROM v WHERE NOT (a < 1 OR b != 'x') AND c IS NULL AND d IS NOT NULL`)
+	want := "((NOT ((a < 1 OR b != 'x')) AND c IS NULL) AND NOT (d IS NULL))"
+	if got := s.Where.String(); got != want {
+		t.Errorf("where = %q, want %q", got, want)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := parseSelect(t, "SELECT id FROM v WHERE a + 2 * 3 > 7 AND x = 1 OR y = 2")
+	// OR binds loosest: (a+2*3>7 AND x=1) OR y=2.
+	l, ok := s.Where.(*expr.Logic)
+	if !ok || l.Op != expr.OpOr {
+		t.Fatalf("top = %v", s.Where)
+	}
+	// Arithmetic precedence: a + (2*3).
+	if got := s.Where.String(); !strings.Contains(got, "(a + (2 * 3)) > 7") {
+		t.Errorf("where = %q", got)
+	}
+}
+
+func TestParseNegativeNumbersAndFloats(t *testing.T) {
+	s := parseSelect(t, "SELECT id FROM v WHERE a > -5 AND b < 0.25 AND c = -0.5")
+	str := s.Where.String()
+	if !strings.Contains(str, "a > -5") || !strings.Contains(str, "b < 0.25") || !strings.Contains(str, "c = -0.5") {
+		t.Errorf("where = %q", str)
+	}
+}
+
+func TestParseBooleansAndComparisonOps(t *testing.T) {
+	s := parseSelect(t, "SELECT id FROM v WHERE a <= 1 AND b >= 2 AND c <> 'z' AND d = TRUE AND e = FALSE")
+	str := s.Where.String()
+	for _, want := range []string{"a <= 1", "b >= 2", "c != 'z'", "d = TRUE", "e = FALSE"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("where %q missing %q", str, want)
+		}
+	}
+}
+
+func TestParseCreateUDFListing2(t *testing.T) {
+	src := `CREATE OR REPLACE UDF YOLO
+		INPUT = (frame NDARRAY UINT8(3, ANYDIM, ANYDIM))
+		OUTPUT = (labels NDARRAY STR(ANYDIM), bboxes NDARRAY FLOAT32(ANYDIM, 4))
+		IMPL = 'udfs/yolo.py'
+		LOGICAL_TYPE = ObjectDetector
+		PROPERTIES = ('ACCURACY' = 'HIGH')`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.(*CreateUDFStmt)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if c.Name != "YOLO" || !c.OrReplace {
+		t.Errorf("header: %+v", c)
+	}
+	if len(c.Inputs) != 1 || c.Inputs[0].Name != "frame" || c.Inputs[0].Kind != types.KindBytes {
+		t.Errorf("inputs: %+v", c.Inputs)
+	}
+	if c.Inputs[0].TypeName != "NDARRAY UINT8(3, ANYDIM, ANYDIM)" {
+		t.Errorf("type name = %q", c.Inputs[0].TypeName)
+	}
+	if len(c.Outputs) != 2 || c.Outputs[0].Kind != types.KindString || c.Outputs[1].Kind != types.KindBytes {
+		t.Errorf("outputs: %+v", c.Outputs)
+	}
+	if c.Impl != "udfs/yolo.py" || c.LogicalType != "ObjectDetector" {
+		t.Errorf("impl/logical: %+v", c)
+	}
+	if c.Properties["ACCURACY"] != "HIGH" {
+		t.Errorf("properties: %v", c.Properties)
+	}
+}
+
+func TestParseCreateUDFSimpleTypes(t *testing.T) {
+	src := `CREATE UDF RedSUV INPUT = (frame BYTES, bbox TEXT) OUTPUT = (hit BOOLEAN) IMPL = 'x'`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.(*CreateUDFStmt)
+	if c.OrReplace {
+		t.Error("OR REPLACE should be false")
+	}
+	if c.Inputs[1].Kind != types.KindString || c.Outputs[0].Kind != types.KindBool {
+		t.Errorf("kinds: %+v %+v", c.Inputs, c.Outputs)
+	}
+}
+
+func TestParseLoadAndShow(t *testing.T) {
+	s, err := Parse("LOAD VIDEO 'medium-ua-detrac' INTO VIDEO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.(*LoadStmt)
+	if l.Dataset != "medium-ua-detrac" || l.Table != "VIDEO" {
+		t.Errorf("load: %+v", l)
+	}
+	s, err = Parse("SHOW UDFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*ShowStmt).What != "UDFS" {
+		t.Errorf("show: %+v", s)
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	src := `-- workload
+		LOAD VIDEO 'jackson' INTO v;
+		SELECT id FROM v WHERE id < 10;
+		SELECT id FROM v WHERE id > 5;`
+	stmts, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM v",
+		"SELECT id v",
+		"SELECT id FROM v WHERE",
+		"SELECT id FROM v WHERE id <",
+		"SELECT id FROM v LIMIT x",
+		"SELECT id FROM v GROUP id",
+		"SELECT id FROM v CROSS JOIN w",
+		"DELETE FROM v",
+		"SELECT id FROM v WHERE id = 'unterminated",
+		"SELECT id FROM v WHERE id @ 3",
+		"CREATE UDF",
+		"CREATE UDF x",
+		"CREATE OR UDF x IMPL='y'",
+		"LOAD VIDEO x INTO v",
+		"LOAD VIDEO 'x' IN v",
+		"SELECT id FROM v; SELECT", // second statement broken
+		"SELECT id FROM v extra",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should error", src)
+		}
+	}
+}
+
+func TestParseCommentsAndEscapes(t *testing.T) {
+	s := parseSelect(t, "SELECT id -- trailing comment\nFROM v WHERE name = 'O''Brien'")
+	if got := s.Where.String(); got != "name = 'O'Brien'" {
+		t.Errorf("escaped string: %q", got)
+	}
+}
+
+func TestParseScalarCallAccuracyInPredicate(t *testing.T) {
+	s := parseSelect(t, "SELECT id FROM v WHERE ObjectDetector(frame) ACCURACY 'HIGH' = 'car'")
+	calls := expr.CollectCalls(s.Where)
+	if len(calls) != 1 || calls[0].Accuracy != "HIGH" {
+		t.Errorf("calls = %+v", calls)
+	}
+}
+
+func TestParseEmptyArgCall(t *testing.T) {
+	s := parseSelect(t, "SELECT now() FROM v")
+	call := s.Items[0].Expr.(*expr.Call)
+	if call.Fn != "now" || len(call.Args) != 0 {
+		t.Errorf("call = %+v", call)
+	}
+}

@@ -1,0 +1,109 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+// randExpr generates a random predicate expression using only
+// constructs whose canonical rendering is valid EVA-QL.
+func randExpr(r *rand.Rand, depth int) expr.Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			ops := []expr.CmpOp{expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe}
+			return expr.NewCmp(ops[r.Intn(len(ops))], expr.NewColumn("id"), expr.NewConst(types.NewInt(int64(r.Intn(100)-50))))
+		case 1:
+			return expr.NewCmp(expr.OpGt, expr.NewColumn("area"), expr.NewConst(types.NewFloat(float64(r.Intn(100))/100)))
+		case 2:
+			vals := []string{"car", "bus", "Nissan", "Gray"}
+			return expr.NewCmp(expr.OpEq, expr.NewColumn("label"), expr.NewConst(types.NewString(vals[r.Intn(len(vals))])))
+		case 3:
+			return expr.NewIsNull(expr.NewColumn("bbox"))
+		default:
+			return expr.NewCmp(expr.OpEq,
+				expr.NewCall("cartype", expr.NewColumn("frame"), expr.NewColumn("bbox")),
+				expr.NewConst(types.NewString("Nissan")))
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return expr.NewAnd(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 1:
+		return expr.NewOr(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 2:
+		return expr.NewNot(randExpr(r, depth-1))
+	default:
+		return expr.NewCmp(expr.OpGt,
+			expr.NewArith([]expr.ArithOp{expr.OpAdd, expr.OpSub, expr.OpMul}[r.Intn(3)],
+				expr.NewColumn("id"), expr.NewConst(types.NewInt(int64(r.Intn(9)+1)))),
+			expr.NewConst(types.NewInt(int64(r.Intn(100)))))
+	}
+}
+
+// TestExprRenderParseRoundTrip is the parser/printer coherence
+// property: parsing an expression's canonical rendering yields a tree
+// with the same canonical rendering.
+func TestExprRenderParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		e := randExpr(r, 4)
+		sql := fmt.Sprintf("SELECT id FROM v WHERE %s", e.String())
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("iteration %d: parse %q: %v", i, sql, err)
+		}
+		got := stmt.(*SelectStmt).Where
+		if !expr.Equal(got, e) {
+			t.Fatalf("iteration %d: round trip diverged\noriginal: %s\nreparsed: %s", i, e, got)
+		}
+	}
+}
+
+// TestStatementRenderStability: a second render-parse cycle is a fixed
+// point (idempotent canonicalization).
+func TestStatementRenderStability(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		e := randExpr(r, 3)
+		once, err := Parse("SELECT id FROM v WHERE " + e.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := Parse("SELECT id FROM v WHERE " + once.(*SelectStmt).Where.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if once.(*SelectStmt).Where.String() != twice.(*SelectStmt).Where.String() {
+			t.Fatalf("not a fixed point:\n1: %s\n2: %s", once.(*SelectStmt).Where, twice.(*SelectStmt).Where)
+		}
+	}
+}
+
+func TestParseExplainAndDrop(t *testing.T) {
+	s, err := Parse("EXPLAIN SELECT id FROM v WHERE id < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := s.(*ExplainStmt)
+	if !ok || ex.Select.From != "v" {
+		t.Fatalf("explain = %#v", s)
+	}
+	s, err = Parse("DROP VIEWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*DropViewsStmt); !ok {
+		t.Fatalf("drop = %#v", s)
+	}
+	if _, err := Parse("EXPLAIN LOAD VIDEO 'x' INTO v"); err == nil {
+		t.Error("EXPLAIN of non-SELECT should error")
+	}
+	if _, err := Parse("DROP TABLE x"); err == nil {
+		t.Error("DROP TABLE should error (only DROP VIEWS supported)")
+	}
+}

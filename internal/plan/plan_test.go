@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+func scanNode() *Scan {
+	return &Scan{Table: "video", Lo: 0, Hi: 100, Sch: types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "frame", Kind: types.KindBytes},
+	)}
+}
+
+func TestReuseApplySchemaConcat(t *testing.T) {
+	a := &ReuseApply{
+		Input:    scanNode(),
+		Eval:     "FasterRCNNResnet50",
+		TableUDF: true,
+		Out: types.MustSchema(
+			types.Column{Name: "label", Kind: types.KindString},
+			types.Column{Name: "bbox", Kind: types.KindString},
+		),
+		KeyCols: []string{"id"},
+	}
+	sch := a.Schema()
+	if len(sch) != 4 || sch[2].Name != "label" {
+		t.Errorf("schema = %s", sch)
+	}
+	// Cached on second call.
+	if &a.Schema()[0] != &sch[0] {
+		t.Error("schema should be memoized")
+	}
+	if !strings.Contains(a.Describe(), "CrossApply(FasterRCNNResnet50, no-reuse") {
+		t.Errorf("describe = %q", a.Describe())
+	}
+	a.Sources = []ApplySource{{UDF: "x", ViewName: "v1"}}
+	a.StoreView = "v1"
+	a.TableUDF = false
+	if d := a.Describe(); !strings.Contains(d, "ScalarApply") || !strings.Contains(d, "views=[v1]") || !strings.Contains(d, "store=v1") {
+		t.Errorf("describe = %q", d)
+	}
+}
+
+func TestProjectSchemaInference(t *testing.T) {
+	p := &Project{Input: scanNode(), Items: []ProjItem{
+		{Name: "id", E: expr.NewColumn("id")},
+		{Name: "c", E: expr.NewConst(types.NewString("x"))},
+		{Name: "b", E: expr.NewCmp(expr.OpGt, expr.NewColumn("id"), expr.NewConst(types.NewInt(1)))},
+		{Name: "k", E: expr.NewCall("f"), Kind: types.KindFloat}, // explicit
+		{Name: "g", E: expr.NewCall("g")},                        // inferred default
+	}}
+	sch := p.Schema()
+	wantKinds := []types.Kind{types.KindInt, types.KindString, types.KindBool, types.KindFloat, types.KindString}
+	for i, want := range wantKinds {
+		if sch[i].Kind != want {
+			t.Errorf("col %d kind = %v, want %v", i, sch[i].Kind, want)
+		}
+	}
+	if !strings.Contains(p.Describe(), "AS id") {
+		t.Errorf("describe = %q", p.Describe())
+	}
+}
+
+func TestGroupBySchema(t *testing.T) {
+	g := &GroupBy{
+		Input: scanNode(),
+		Keys:  []string{"id"},
+		Aggs: []Agg{
+			{Kind: AggCount, Name: "n"},
+			{Kind: AggAvg, Arg: expr.NewColumn("id"), Name: "a"},
+		},
+	}
+	sch := g.Schema()
+	if len(sch) != 3 || sch[1].Kind != types.KindInt || sch[2].Kind != types.KindFloat {
+		t.Errorf("schema = %s", sch)
+	}
+	if d := g.Describe(); !strings.Contains(d, "COUNT(*)") || !strings.Contains(d, "AVG(id)") {
+		t.Errorf("describe = %q", d)
+	}
+}
+
+func TestAggKindNames(t *testing.T) {
+	names := map[AggKind]string{AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+}
+
+func TestExplainTree(t *testing.T) {
+	tree := &Limit{N: 5, Input: &Filter{
+		Pred:  expr.NewCmp(expr.OpGt, expr.NewColumn("id"), expr.NewConst(types.NewInt(3))),
+		Input: scanNode(),
+	}}
+	out := Explain(tree)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("explain lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Limit(5)") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  Filter(") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    Scan(video") {
+		t.Errorf("line 2 = %q", lines[2])
+	}
+	if (&Filter{Input: scanNode()}).Schema().IndexOf("id") != 0 {
+		t.Error("filter schema should pass through")
+	}
+	if (&Limit{Input: scanNode()}).Schema().IndexOf("frame") != 1 {
+		t.Error("limit schema should pass through")
+	}
+}

@@ -1,0 +1,99 @@
+package simclock
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChargeAndTotal(t *testing.T) {
+	var c Clock
+	c.Charge(CatUDF, 99*time.Millisecond)
+	c.Charge(CatUDF, time.Millisecond)
+	c.Charge(CatReadView, 10*time.Millisecond)
+	c.Charge(CatOther, 0) // no-op
+	if got := c.Total(); got != 110*time.Millisecond {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestChargePerTuple(t *testing.T) {
+	var c Clock
+	c.ChargePerTuple(CatUDF, 99*time.Millisecond, 10)
+	if got := c.Total(); got != 990*time.Millisecond {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	var c Clock
+	c.Charge(CatUDF, time.Second)
+	s := c.Snapshot()
+	c.Charge(CatUDF, 2*time.Second)
+	c.Charge(CatMaterialize, time.Second)
+	b := c.Since(s)
+	if b.Get(CatUDF) != 2*time.Second {
+		t.Errorf("UDF delta = %v", b.Get(CatUDF))
+	}
+	if b.Get(CatMaterialize) != time.Second {
+		t.Errorf("Mat delta = %v", b.Get(CatMaterialize))
+	}
+	if b.Get(CatReadVideo) != 0 {
+		t.Error("untouched category should be 0")
+	}
+	if b.Total() != 3*time.Second {
+		t.Errorf("breakdown total = %v", b.Total())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.Charge(CatHash, time.Second)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestBreakdownAddAndString(t *testing.T) {
+	a := Breakdown{CatUDF: time.Second}
+	b := Breakdown{CatUDF: time.Second, CatApply: time.Millisecond}
+	sum := a.Add(b)
+	if sum.Get(CatUDF) != 2*time.Second || sum.Get(CatApply) != time.Millisecond {
+		t.Errorf("Add = %v", sum)
+	}
+	s := sum.String()
+	if !strings.Contains(s, "UDF=2s") || !strings.Contains(s, "Apply=1ms") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Charge(CatUDF, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total(); got != 8*time.Millisecond {
+		t.Errorf("concurrent total = %v", got)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for _, cat := range Categories() {
+		if strings.HasPrefix(cat.String(), "Category(") {
+			t.Errorf("category %d missing name", cat)
+		}
+	}
+	if Category(99).String() != "Category(99)" {
+		t.Error("unknown category rendering")
+	}
+}

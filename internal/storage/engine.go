@@ -1,0 +1,160 @@
+// Package storage implements EVA's pluggable storage engine substrate:
+// on-disk columnar segments for video tables and append-able
+// materialized views for UDF results. It stands in for the paper's
+// Petastorm/Parquet layer; the formats are custom binary encodings
+// built on the canonical datum encoding in internal/types.
+//
+// A materialized view tracks two things per UDF signature: the result
+// rows, and the set of *processed keys*. The distinction matters
+// because a detector may legitimately produce zero detections for a
+// frame — the view must still remember that the frame was evaluated,
+// or the conditional Apply operator would re-run the UDF forever.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"eva/internal/types"
+	"eva/internal/vision"
+)
+
+// Engine is the storage root. It owns a directory with one
+// sub-directory per video table and one file per materialized view.
+type Engine struct {
+	root string
+
+	mu     sync.Mutex
+	videos map[string]*Video
+	views  map[string]*View
+}
+
+// Open creates (or reopens) a storage engine rooted at dir.
+func Open(dir string) (*Engine, error) {
+	for _, sub := range []string{"videos", "views"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+		}
+	}
+	return &Engine{root: dir, videos: map[string]*Video{}, views: map[string]*View{}}, nil
+}
+
+// Root returns the engine's directory.
+func (e *Engine) Root() string { return e.root }
+
+// CreateVideo registers a video table backed by the synthetic dataset.
+// Frames are materialized to disk segments lazily on first scan.
+func (e *Engine) CreateVideo(name string, ds vision.Dataset) (*Video, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := e.videos[key]; dup {
+		return nil, fmt.Errorf("storage: video %q already exists", name)
+	}
+	dir := filepath.Join(e.root, "videos", key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	v := &Video{name: name, dir: dir, ds: ds, segFrames: defaultSegmentFrames}
+	e.videos[key] = v
+	return v, nil
+}
+
+// Video returns the named video table.
+func (e *Engine) Video(name string) (*Video, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.videos[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown video %q", name)
+	}
+	return v, nil
+}
+
+// CreateView creates (or returns the existing) materialized view with
+// the given row schema and key columns.
+func (e *Engine) CreateView(name string, schema types.Schema, keyCols []string) (*View, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if v, ok := e.views[key]; ok {
+		if !v.schema.Equal(schema) {
+			return nil, fmt.Errorf("storage: view %q exists with schema %s (want %s)", name, v.schema, schema)
+		}
+		return v, nil
+	}
+	for _, kc := range keyCols {
+		if !schema.Has(kc) {
+			return nil, fmt.Errorf("storage: view %q: key column %q not in schema %s", name, kc, schema)
+		}
+	}
+	v, err := openView(filepath.Join(e.root, "views", sanitize(key)+".view"), name, schema, keyCols)
+	if err != nil {
+		return nil, err
+	}
+	e.views[key] = v
+	return v, nil
+}
+
+// View returns the named view, or nil if it does not exist.
+func (e *Engine) View(name string) *View {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.views[strings.ToLower(name)]
+}
+
+// Views returns all view names.
+func (e *Engine) Views() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.views))
+	for n := range e.views {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TotalViewFootprint sums the on-disk bytes of all materialized views —
+// the storage-overhead metric of §5.2.
+func (e *Engine) TotalViewFootprint() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int64
+	for _, v := range e.views {
+		total += v.Footprint()
+	}
+	return total
+}
+
+// DropViews removes all materialized views (used to reset between
+// benchmark workloads).
+func (e *Engine) DropViews() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, v := range e.views {
+		if err := v.close(); err != nil {
+			return err
+		}
+		if err := os.Remove(v.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		delete(e.views, name)
+	}
+	return nil
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, name)
+}

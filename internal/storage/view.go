@@ -1,0 +1,341 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"eva/internal/types"
+)
+
+// View is an append-only materialized view of UDF results. Rows carry
+// the key columns plus the UDF's output columns; separately, the view
+// records every *processed key* so that keys whose evaluation produced
+// zero rows (e.g. frames with no detections) are not re-evaluated.
+//
+// The view persists every append to its backing file and rebuilds its
+// in-memory index when reopened.
+type View struct {
+	name    string
+	path    string
+	schema  types.Schema
+	keyCols []string
+	keyIdx  []int
+
+	mu        sync.RWMutex
+	batch     *types.Batch
+	rowsByKey map[string][]int
+	processed map[string]struct{}
+	file      *os.File
+	footprint int64
+}
+
+// View file format: header (magic, version, schema, key columns)
+// followed by records. Record kinds: rows (encoded datum rows) and
+// processed-keys (encoded key tuples).
+const (
+	viewMagic   = 0x45564156 // "EVAV"
+	viewVersion = 1
+
+	recRows = 1
+	recKeys = 2
+)
+
+func openView(path, name string, schema types.Schema, keyCols []string) (*View, error) {
+	v := &View{
+		name:      name,
+		path:      path,
+		schema:    schema.Clone(),
+		keyCols:   append([]string(nil), keyCols...),
+		batch:     types.NewBatch(schema.Clone()),
+		rowsByKey: map[string][]int{},
+		processed: map[string]struct{}{},
+	}
+	for _, kc := range keyCols {
+		v.keyIdx = append(v.keyIdx, schema.IndexOf(kc))
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := v.replay(data); err != nil {
+			return nil, fmt.Errorf("storage: view %s: %w", name, err)
+		}
+		v.footprint = int64(len(data))
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	v.file = f
+	if v.footprint == 0 {
+		hdr := v.encodeHeader()
+		if _, err := f.Write(hdr); err != nil {
+			return nil, err
+		}
+		v.footprint = int64(len(hdr))
+	}
+	return v, nil
+}
+
+func (v *View) encodeHeader() []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, viewMagic)
+	buf = append(buf, viewVersion)
+	buf = append(buf, byte(len(v.schema)))
+	for _, c := range v.schema {
+		buf = append(buf, byte(c.Kind), byte(len(c.Name)))
+		buf = append(buf, c.Name...)
+	}
+	buf = append(buf, byte(len(v.keyCols)))
+	for _, kc := range v.keyCols {
+		buf = append(buf, byte(len(kc)))
+		buf = append(buf, kc...)
+	}
+	return buf
+}
+
+func (v *View) replay(data []byte) error {
+	if len(data) < 6 || binary.LittleEndian.Uint32(data) != viewMagic {
+		return fmt.Errorf("bad view header")
+	}
+	if data[4] != viewVersion {
+		return fmt.Errorf("unsupported view version %d", data[4])
+	}
+	off := 5
+	ncols := int(data[off])
+	off++
+	var schema types.Schema
+	for i := 0; i < ncols; i++ {
+		if off+2 > len(data) {
+			return fmt.Errorf("truncated schema")
+		}
+		kind := types.Kind(data[off])
+		nameLen := int(data[off+1])
+		off += 2
+		if off+nameLen > len(data) {
+			return fmt.Errorf("truncated column name")
+		}
+		schema = append(schema, types.Column{Name: string(data[off : off+nameLen]), Kind: kind})
+		off += nameLen
+	}
+	if !schema.Equal(v.schema) {
+		return fmt.Errorf("schema mismatch: file has %s, want %s", schema, v.schema)
+	}
+	nkeys := int(data[off])
+	off++
+	for i := 0; i < nkeys; i++ {
+		klen := int(data[off])
+		off++
+		off += klen // names validated via schema equality; skip
+	}
+	for off < len(data) {
+		kind := data[off]
+		off++
+		if off+4 > len(data) {
+			return fmt.Errorf("truncated record header")
+		}
+		count := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		switch kind {
+		case recRows:
+			row := make([]types.Datum, len(v.schema))
+			for r := 0; r < count; r++ {
+				for c := range row {
+					d, n, err := types.DecodeDatum(data[off:])
+					if err != nil {
+						return fmt.Errorf("row record: %w", err)
+					}
+					row[c] = d
+					off += n
+				}
+				v.appendRowLocked(row)
+			}
+		case recKeys:
+			key := make([]types.Datum, len(v.keyCols))
+			for r := 0; r < count; r++ {
+				for c := range key {
+					d, n, err := types.DecodeDatum(data[off:])
+					if err != nil {
+						return fmt.Errorf("key record: %w", err)
+					}
+					key[c] = d
+					off += n
+				}
+				v.processed[encodeKey(key)] = struct{}{}
+			}
+		default:
+			return fmt.Errorf("unknown record kind %d", kind)
+		}
+	}
+	return nil
+}
+
+// Name returns the view name.
+func (v *View) Name() string { return v.name }
+
+// Schema returns the view's row schema.
+func (v *View) Schema() types.Schema { return v.schema }
+
+// KeyColumns returns the key column names.
+func (v *View) KeyColumns() []string { return v.keyCols }
+
+// encodeKey canonically encodes a key tuple for index lookups.
+func encodeKey(key []types.Datum) string {
+	var buf []byte
+	for _, d := range key {
+		buf = d.AppendBinary(buf)
+	}
+	return string(buf)
+}
+
+// EncodeKey exposes the canonical key encoding for callers that build
+// probe tables.
+func EncodeKey(key []types.Datum) string { return encodeKey(key) }
+
+func (v *View) rowKey(b *types.Batch, r int) string {
+	key := make([]types.Datum, len(v.keyIdx))
+	for i, c := range v.keyIdx {
+		key[i] = b.At(r, c)
+	}
+	return encodeKey(key)
+}
+
+func (v *View) appendRowLocked(row []types.Datum) {
+	v.batch.MustAppendRow(row...)
+	r := v.batch.Len() - 1
+	key := v.rowKey(v.batch, r)
+	v.rowsByKey[key] = append(v.rowsByKey[key], r)
+	v.processed[key] = struct{}{}
+}
+
+// Append adds result rows and marks extra keys as processed (for keys
+// whose evaluation produced no rows). Rows whose key is already
+// processed are skipped — appends are idempotent per key, which keeps
+// the STORE operator safe to re-run. It returns the number of new rows
+// stored and persists the append.
+func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, error) {
+	if rows != nil && !rows.Schema().Equal(v.schema) {
+		return 0, fmt.Errorf("storage: view %s: append schema %s, want %s", v.name, rows.Schema(), v.schema)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	var rowBuf []byte
+	newRows := 0
+	if rows != nil {
+		// A row is stored iff its key was unprocessed when this call
+		// began. newKeys lets sibling rows of a key introduced by this
+		// very batch through, even though appendRowLocked marks the key
+		// processed as soon as the first sibling lands.
+		newKeys := map[string]struct{}{}
+		for r := 0; r < rows.Len(); r++ {
+			key := v.rowKey(rows, r)
+			if _, done := v.processed[key]; done {
+				if _, fresh := newKeys[key]; !fresh {
+					continue
+				}
+			}
+			newKeys[key] = struct{}{}
+			row := rows.Row(r)
+			v.appendRowLocked(row)
+			for _, d := range row {
+				rowBuf = d.AppendBinary(rowBuf)
+			}
+			newRows++
+		}
+	}
+
+	var keyBuf []byte
+	newKeyCount := 0
+	for _, key := range processedKeys {
+		if len(key) != len(v.keyCols) {
+			return newRows, fmt.Errorf("storage: view %s: key width %d, want %d", v.name, len(key), len(v.keyCols))
+		}
+		ek := encodeKey(key)
+		if _, done := v.processed[ek]; done {
+			continue
+		}
+		v.processed[ek] = struct{}{}
+		for _, d := range key {
+			keyBuf = d.AppendBinary(keyBuf)
+		}
+		newKeyCount++
+	}
+
+	var out []byte
+	if newRows > 0 {
+		out = append(out, recRows)
+		out = binary.LittleEndian.AppendUint32(out, uint32(newRows))
+		out = append(out, rowBuf...)
+	}
+	if newKeyCount > 0 {
+		out = append(out, recKeys)
+		out = binary.LittleEndian.AppendUint32(out, uint32(newKeyCount))
+		out = append(out, keyBuf...)
+	}
+	if len(out) > 0 {
+		if _, err := v.file.Write(out); err != nil {
+			return newRows, fmt.Errorf("storage: view %s: %w", v.name, err)
+		}
+		v.footprint += int64(len(out))
+	}
+	return newRows, nil
+}
+
+// Scan returns all stored rows as a read-only snapshot. The snapshot's
+// column headers are copied under the lock, so concurrent Appends
+// (which only ever add rows past the snapshot's length) cannot race
+// with readers.
+func (v *View) Scan() *types.Batch {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.batch.Slice(0, v.batch.Len())
+}
+
+// Rows returns the number of stored result rows.
+func (v *View) Rows() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.batch.Len()
+}
+
+// ProcessedCount returns the number of distinct processed keys.
+func (v *View) ProcessedCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.processed)
+}
+
+// HasKey reports whether the key was processed (even with zero rows).
+func (v *View) HasKey(key []types.Datum) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.processed[encodeKey(key)]
+	return ok
+}
+
+// RowsForKey returns the indexes (into Scan's batch) of the rows with
+// the given key.
+func (v *View) RowsForKey(key []types.Datum) []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.rowsByKey[encodeKey(key)]
+}
+
+// Footprint returns the on-disk size in bytes.
+func (v *View) Footprint() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.footprint
+}
+
+func (v *View) close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.file == nil {
+		return nil
+	}
+	err := v.file.Close()
+	v.file = nil
+	return err
+}

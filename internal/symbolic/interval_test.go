@@ -1,0 +1,262 @@
+package symbolic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func iv(lo, hi float64, loOpen, hiOpen bool) Interval {
+	return Interval{Lo: lo, Hi: hi, LoOpen: loOpen, HiOpen: hiOpen}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	tests := []struct {
+		iv   Interval
+		want bool
+	}{
+		{iv(1, 2, false, false), false},
+		{iv(2, 1, false, false), true},
+		{Point(5), false},
+		{iv(5, 5, true, false), true},
+		{iv(5, 5, false, true), true},
+		{FullInterval, false},
+	}
+	for _, tt := range tests {
+		if got := tt.iv.Empty(); got != tt.want {
+			t.Errorf("%v.Empty() = %v, want %v", tt.iv, got, tt.want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	i := iv(1, 3, true, false) // (1, 3]
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{{1, false}, {1.5, true}, {3, true}, {3.1, false}, {0, false}} {
+		if got := i.Contains(tc.v); got != tc.want {
+			t.Errorf("(1,3].Contains(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalSetNormalization(t *testing.T) {
+	// Overlapping and adjacent intervals merge; disjoint ones don't.
+	s := NewIntervalSet(iv(0, 2, false, false), iv(1, 3, false, false), iv(5, 6, false, false))
+	if got := len(s.Intervals()); got != 2 {
+		t.Fatalf("normalized to %d intervals (%s), want 2", got, s)
+	}
+	// [a,b) ∪ [b,c] is contiguous.
+	s2 := NewIntervalSet(iv(0, 1, false, true), iv(1, 2, false, false))
+	if len(s2.Intervals()) != 1 {
+		t.Errorf("[0,1) ∪ [1,2] should merge: %s", s2)
+	}
+	// (a,b) ∪ (b,c) leaves the seam uncovered.
+	s3 := NewIntervalSet(iv(0, 1, true, true), iv(1, 2, true, true))
+	if len(s3.Intervals()) != 2 {
+		t.Errorf("(0,1) ∪ (1,2) should not merge: %s", s3)
+	}
+	if s3.Contains(1) {
+		t.Error("seam point should be excluded")
+	}
+	// [a,b) ∪ [b,c): point b covered by second.
+	s4 := NewIntervalSet(iv(0, 1, false, true), iv(1, 2, false, true))
+	if len(s4.Intervals()) != 1 || !s4.Contains(1) {
+		t.Errorf("[0,1) ∪ [1,2) should merge: %s", s4)
+	}
+}
+
+func TestIntervalSetOps(t *testing.T) {
+	a := NewIntervalSet(iv(5, 15, true, true))  // (5, 15)
+	b := NewIntervalSet(iv(10, 20, true, true)) // (10, 20)
+	u := a.Union(b)
+	if len(u.Intervals()) != 1 || !u.Contains(12) || u.Contains(5) || u.Contains(20) {
+		t.Errorf("union = %s", u)
+	}
+	i := a.Intersect(b)
+	if !i.Contains(12) || i.Contains(9) || i.Contains(16) {
+		t.Errorf("intersect = %s", i)
+	}
+	m := a.Minus(b)
+	if !m.Contains(7) || m.Contains(12) {
+		t.Errorf("minus = %s", m)
+	}
+	if !i.SubsetOf(a) || !i.SubsetOf(b) || a.SubsetOf(b) {
+		t.Error("subset relations wrong")
+	}
+}
+
+func TestIntervalSetComplement(t *testing.T) {
+	s := NewIntervalSet(iv(0, 1, false, false), iv(2, 3, true, true))
+	c := s.Complement()
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{{-1, true}, {0, false}, {0.5, false}, {1, false}, {1.5, true}, {2, true}, {2.5, false}, {3, true}, {4, true}} {
+		if got := c.Contains(tc.v); got != tc.want {
+			t.Errorf("complement.Contains(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	if !s.Complement().Complement().Equal(s) {
+		t.Error("double complement not identity")
+	}
+	if !FullIntervalSet().Complement().Empty() {
+		t.Error("complement of full should be empty")
+	}
+	if !(IntervalSet{}).Complement().Full() {
+		t.Error("complement of empty should be full")
+	}
+}
+
+func TestIntervalSetAtomCount(t *testing.T) {
+	tests := []struct {
+		s    IntervalSet
+		want int
+	}{
+		{IntervalSet{}, 0},
+		{FullIntervalSet(), 0},
+		{NewIntervalSet(Point(5)), 1},
+		{NewIntervalSet(iv(0, 1, false, false)), 2},
+		{NewIntervalSet(iv(math.Inf(-1), 5, true, true)), 1},
+		{NewIntervalSet(iv(0, 1, false, false), iv(3, 4, false, false)), 4},
+	}
+	for _, tt := range tests {
+		if got := tt.s.AtomCount(); got != tt.want {
+			t.Errorf("%s.AtomCount() = %d, want %d", tt.s, got, tt.want)
+		}
+	}
+}
+
+// randomSet builds a small interval set from quick-generated values.
+func randomSet(vals []float64) IntervalSet {
+	var ivs []Interval
+	for i := 0; i+1 < len(vals); i += 2 {
+		lo, hi := vals[i], vals[i+1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ivs = append(ivs, iv(lo, hi, len(vals)%2 == 0, len(vals)%3 == 0))
+	}
+	return NewIntervalSet(ivs...)
+}
+
+func TestIntervalSetAlgebraQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	probe := []float64{-10, -1, 0, 0.5, 1, 2, 3, 5, 7, 10, 100}
+	f := func(a8, b8 [8]float64) bool {
+		a, b := randomSet(a8[:]), randomSet(b8[:])
+		for _, v := range probe {
+			if a.Union(b).Contains(v) != (a.Contains(v) || b.Contains(v)) {
+				return false
+			}
+			if a.Intersect(b).Contains(v) != (a.Contains(v) && b.Contains(v)) {
+				return false
+			}
+			if a.Complement().Contains(v) != !a.Contains(v) {
+				return false
+			}
+			if a.Minus(b).Contains(v) != (a.Contains(v) && !b.Contains(v)) {
+				return false
+			}
+		}
+		if a.SubsetOf(a.Union(b)) != true {
+			return false
+		}
+		return a.Intersect(b).SubsetOf(a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCatSetOps(t *testing.T) {
+	a := NewCatSet("Nissan", "Toyota")
+	b := NewCatSet("Toyota", "Ford")
+	if got := a.Intersect(b); !got.Contains("Toyota") || got.Contains("Nissan") {
+		t.Errorf("intersect = %s", got)
+	}
+	if got := a.Union(b); !got.Contains("Ford") || got.Contains("BMW") {
+		t.Errorf("union = %s", got)
+	}
+	nb := NewCatSetNot("Ford")
+	// a ∪ ¬{Ford}: everything except nothing-of-Ford-minus-a... i.e. ∉ {Ford}\{Nissan,Toyota} = ∉{Ford}
+	u := a.Union(nb)
+	if u.Contains("Ford") || !u.Contains("BMW") || !u.Contains("Nissan") {
+		t.Errorf("allowed ∪ excluded = %s", u)
+	}
+	i := a.Intersect(nb)
+	if !i.Contains("Nissan") || i.Contains("Ford") {
+		t.Errorf("allowed ∩ excluded = %s", i)
+	}
+	nn := NewCatSetNot("Nissan").Intersect(NewCatSetNot("Toyota"))
+	if nn.Contains("Nissan") || nn.Contains("Toyota") || !nn.Contains("Ford") {
+		t.Errorf("excluded ∩ excluded = %s", nn)
+	}
+	uu := NewCatSetNot("Nissan", "Ford").Union(NewCatSetNot("Nissan", "Toyota"))
+	if uu.Contains("Nissan") || !uu.Contains("Ford") || !uu.Contains("Toyota") {
+		t.Errorf("excluded ∪ excluded = %s", uu)
+	}
+}
+
+func TestCatSetPredicates(t *testing.T) {
+	if !NewCatSet().Empty() || NewCatSet("x").Empty() {
+		t.Error("Empty wrong")
+	}
+	if !FullCatSet().Full() || NewCatSetNot("x").Full() {
+		t.Error("Full wrong")
+	}
+	if !NewCatSet("a").SubsetOf(NewCatSet("a", "b")) {
+		t.Error("subset wrong")
+	}
+	if NewCatSetNot("a").SubsetOf(NewCatSet("a", "b")) {
+		t.Error("cofinite not subset of finite")
+	}
+	if !NewCatSet("b").SubsetOf(NewCatSetNot("a")) {
+		t.Error("{b} ⊆ ¬{a}")
+	}
+	if !NewCatSet("a", "b").Equal(NewCatSet("b", "a")) {
+		t.Error("equality order-sensitive")
+	}
+	if NewCatSet("a").Equal(NewCatSetNot("a")) {
+		t.Error("negation equality")
+	}
+	if got := NewCatSet("a", "b").AtomCount(); got != 2 {
+		t.Errorf("AtomCount = %d", got)
+	}
+	if got := FullCatSet().AtomCount(); got != 0 {
+		t.Errorf("full AtomCount = %d", got)
+	}
+	if !NewCatSet("a").Complement().Contains("b") || NewCatSet("a").Complement().Contains("a") {
+		t.Error("complement wrong")
+	}
+}
+
+func TestConstraintBridging(t *testing.T) {
+	n := NumConstraint(NewIntervalSet(iv(0, 10, false, false)))
+	c := CatConstraint(NewCatSet("car"))
+	if !n.typeMismatch(c) {
+		t.Error("mismatch not detected")
+	}
+	if got := n.Intersect(c); !got.Empty() {
+		t.Error("mismatched intersect should be empty")
+	}
+	if !n.SubsetOf(NumConstraint(FullIntervalSet())) {
+		t.Error("subset of full")
+	}
+	if c.SubsetOf(n) {
+		t.Error("mismatched subset should be false for nonempty")
+	}
+	if ok, err := n.containsValue(Num(5)); err != nil || !ok {
+		t.Errorf("containsValue(5) = %v, %v", ok, err)
+	}
+	if _, err := n.containsValue(Str("x")); err == nil {
+		t.Error("type confusion should error")
+	}
+	if ok, err := c.containsValue(Str("car")); err != nil || !ok {
+		t.Errorf("cat containsValue = %v, %v", ok, err)
+	}
+	if _, err := c.containsValue(Num(1)); err == nil {
+		t.Error("type confusion should error")
+	}
+}

@@ -1,0 +1,151 @@
+package symbolic
+
+// Symbolic analysis of equality join predicates — the §6 extension.
+// The paper notes that join predicates complicate UDF-centric reuse:
+// Π_UDF(A ⋈_{A.id=B.id} B) and Π_UDF(A ⋈_{A.id=B.id+1} B) share no
+// reusable pairs even though the predicates look similar, while other
+// pairs subsume each other. This file analyzes affine equality joins
+// of the form `left = right + c` (and `left = right`) and classifies
+// the relationship between two such predicates, which is what the
+// optimizer needs to decide whether UDF results computed over one join
+// are reusable under another.
+
+import (
+	"fmt"
+	"strings"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+// JoinRelation classifies two equality-join predicates.
+type JoinRelation int
+
+// Join predicate relationships.
+const (
+	// JoinUnknown: the analyzer cannot decide; assume no reuse.
+	JoinUnknown JoinRelation = iota
+	// JoinEquivalent: the predicates select exactly the same pairs —
+	// UDF results are fully reusable.
+	JoinEquivalent
+	// JoinDisjoint: no pair satisfies both predicates — no reuse
+	// opportunity exists (the paper's Q1 vs Q2 case).
+	JoinDisjoint
+)
+
+// String renders the relation.
+func (r JoinRelation) String() string {
+	switch r {
+	case JoinEquivalent:
+		return "equivalent"
+	case JoinDisjoint:
+		return "disjoint"
+	default:
+		return "unknown"
+	}
+}
+
+// affineJoin is a normalized join predicate: left = right + offset.
+type affineJoin struct {
+	Left   string
+	Right  string
+	Offset int64
+}
+
+// parseAffineJoin normalizes an equality comparison into the affine
+// form when possible. Supported shapes: `a = b`, `a = b + c`,
+// `a = b - c`, and the mirrored spellings.
+func parseAffineJoin(e expr.Expr) (affineJoin, bool) {
+	cmp, ok := e.(*expr.Cmp)
+	if !ok || cmp.Op != expr.OpEq {
+		return affineJoin{}, false
+	}
+	l, lok := colTerm(cmp.L)
+	if lok {
+		if r, off, rok := colPlusConst(cmp.R); rok {
+			return affineJoin{Left: l, Right: r, Offset: off}, true
+		}
+	}
+	r, rok := colTerm(cmp.R)
+	if rok {
+		if l2, off, lok2 := colPlusConst(cmp.L); lok2 {
+			// l2 + off = r  ⇔  r = l2 + off; normalize left = right+offset.
+			return affineJoin{Left: r, Right: l2, Offset: off}, true
+		}
+	}
+	return affineJoin{}, false
+}
+
+func colTerm(e expr.Expr) (string, bool) {
+	c, ok := e.(*expr.Column)
+	if !ok {
+		return "", false
+	}
+	return strings.ToLower(c.Name), true
+}
+
+// colPlusConst matches `col`, `col + c`, and `col - c`.
+func colPlusConst(e expr.Expr) (string, int64, bool) {
+	if c, ok := colTerm(e); ok {
+		return c, 0, true
+	}
+	ar, ok := e.(*expr.Arith)
+	if !ok || (ar.Op != expr.OpAdd && ar.Op != expr.OpSub) {
+		return "", 0, false
+	}
+	col, ok := colTerm(ar.L)
+	if !ok {
+		return "", 0, false
+	}
+	k, ok := ar.R.(*expr.Const)
+	if !ok || k.Val.Kind() != types.KindInt {
+		return "", 0, false
+	}
+	off := k.Val.Int()
+	if ar.Op == expr.OpSub {
+		off = -off
+	}
+	return col, off, true
+}
+
+// AnalyzeJoinPredicates classifies the relationship between two
+// equality-join predicates. For affine joins over the same column
+// pair, `a = b + c1` and `a = b + c2` are equivalent iff c1 = c2 and
+// provably disjoint otherwise; anything else is Unknown (which the
+// caller must treat as "no reuse", the safe default).
+func AnalyzeJoinPredicates(p1, p2 expr.Expr) JoinRelation {
+	if expr.Equal(p1, p2) {
+		return JoinEquivalent
+	}
+	a1, ok1 := parseAffineJoin(p1)
+	a2, ok2 := parseAffineJoin(p2)
+	if !ok1 || !ok2 {
+		return JoinUnknown
+	}
+	if a1.Left != a2.Left || a1.Right != a2.Right {
+		// Different column pairs (or swapped sides): not comparable
+		// without schema knowledge.
+		return JoinUnknown
+	}
+	if a1.Offset == a2.Offset {
+		return JoinEquivalent
+	}
+	// Same column pair, different offsets: a row pair satisfying both
+	// would need right+c1 = right+c2 with c1 ≠ c2 — impossible.
+	return JoinDisjoint
+}
+
+// JoinReusable reports whether UDF results materialized over the join
+// with predicate prev may serve the join with predicate next, with an
+// explanation for EXPLAIN-style output.
+func JoinReusable(prev, next expr.Expr) (bool, string) {
+	rel := AnalyzeJoinPredicates(prev, next)
+	switch rel {
+	case JoinEquivalent:
+		return true, "join predicates are equivalent; UDF results fully reusable"
+	case JoinDisjoint:
+		return false, "join predicates are provably disjoint; no reuse opportunity"
+	default:
+		return false, fmt.Sprintf("join predicate relationship %s; conservatively not reused", rel)
+	}
+}

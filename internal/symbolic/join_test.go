@@ -1,0 +1,114 @@
+package symbolic
+
+import (
+	"testing"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+func eqJoin(l, r expr.Expr) expr.Expr { return expr.NewCmp(expr.OpEq, l, r) }
+
+func plus(c expr.Expr, k int64) expr.Expr {
+	return expr.NewArith(expr.OpAdd, c, expr.NewConst(types.NewInt(k)))
+}
+
+func minus(c expr.Expr, k int64) expr.Expr {
+	return expr.NewArith(expr.OpSub, c, expr.NewConst(types.NewInt(k)))
+}
+
+func TestAnalyzeJoinPredicates(t *testing.T) {
+	aID := expr.NewColumn("a_id")
+	bID := expr.NewColumn("b_id")
+	tests := []struct {
+		name   string
+		p1, p2 expr.Expr
+		want   JoinRelation
+	}{
+		{"identical", eqJoin(aID, bID), eqJoin(aID, bID), JoinEquivalent},
+		{"shifted (paper Q1 vs Q2)", eqJoin(aID, bID), eqJoin(aID, plus(bID, 1)), JoinDisjoint},
+		{"same shift", eqJoin(aID, plus(bID, 1)), eqJoin(aID, plus(bID, 1)), JoinEquivalent},
+		{"plus vs minus", eqJoin(aID, plus(bID, 1)), eqJoin(aID, minus(bID, 1)), JoinDisjoint},
+		{"minus normalizes", eqJoin(aID, minus(bID, 2)), eqJoin(aID, plus(bID, -2)), JoinEquivalent},
+		{"mirrored spelling", eqJoin(plus(bID, 3), aID), eqJoin(aID, plus(bID, 3)), JoinEquivalent},
+		{"different columns", eqJoin(aID, bID), eqJoin(aID, expr.NewColumn("b_ts")), JoinUnknown},
+		{"non-affine (mod, paper Q3)", eqJoin(aID, bID), eqJoin(aID, expr.NewArith(expr.OpMod, bID, expr.NewConst(types.NewInt(2)))), JoinUnknown},
+		{"inequality", expr.NewCmp(expr.OpLt, aID, bID), eqJoin(aID, bID), JoinUnknown},
+	}
+	for _, tt := range tests {
+		if got := AnalyzeJoinPredicates(tt.p1, tt.p2); got != tt.want {
+			t.Errorf("%s: %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestJoinRelationSemanticsBruteForce(t *testing.T) {
+	// Verify the classifications against brute-force pair enumeration.
+	aID := expr.NewColumn("a_id")
+	bID := expr.NewColumn("b_id")
+	cases := []struct {
+		p1, p2 expr.Expr
+	}{
+		{eqJoin(aID, bID), eqJoin(aID, plus(bID, 1))},
+		{eqJoin(aID, plus(bID, 2)), eqJoin(aID, plus(bID, 2))},
+		{eqJoin(aID, minus(bID, 1)), eqJoin(aID, plus(bID, 1))},
+	}
+	evalPair := func(p expr.Expr, a, b int64) bool {
+		res := expr.MapResolver{Cols: map[string]types.Datum{
+			"a_id": types.NewInt(a), "b_id": types.NewInt(b),
+		}}
+		v, err := expr.EvalBool(p, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for _, c := range cases {
+		rel := AnalyzeJoinPredicates(c.p1, c.p2)
+		bothSeen, onlyOne := false, false
+		for a := int64(-5); a <= 5; a++ {
+			for b := int64(-5); b <= 5; b++ {
+				s1, s2 := evalPair(c.p1, a, b), evalPair(c.p2, a, b)
+				if s1 && s2 {
+					bothSeen = true
+				}
+				if s1 != s2 {
+					onlyOne = true
+				}
+			}
+		}
+		switch rel {
+		case JoinEquivalent:
+			if onlyOne {
+				t.Errorf("%s vs %s: declared equivalent but differ on some pair", c.p1, c.p2)
+			}
+		case JoinDisjoint:
+			if bothSeen {
+				t.Errorf("%s vs %s: declared disjoint but share a pair", c.p1, c.p2)
+			}
+		}
+	}
+}
+
+func TestJoinReusableExplanations(t *testing.T) {
+	aID := expr.NewColumn("a_id")
+	bID := expr.NewColumn("b_id")
+	ok, why := JoinReusable(eqJoin(aID, bID), eqJoin(aID, bID))
+	if !ok || why == "" {
+		t.Errorf("equivalent join: %v %q", ok, why)
+	}
+	ok, why = JoinReusable(eqJoin(aID, bID), eqJoin(aID, plus(bID, 1)))
+	if ok {
+		t.Errorf("disjoint join should not reuse: %q", why)
+	}
+	ok, _ = JoinReusable(expr.NewCmp(expr.OpLt, aID, bID), eqJoin(aID, bID))
+	if ok {
+		t.Error("unknown join relationship must default to no reuse")
+	}
+}
+
+func TestJoinRelationString(t *testing.T) {
+	if JoinEquivalent.String() != "equivalent" || JoinDisjoint.String() != "disjoint" || JoinUnknown.String() != "unknown" {
+		t.Error("relation names")
+	}
+}

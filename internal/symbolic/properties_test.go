@@ -1,0 +1,167 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Algebraic-law property tests over randomly generated predicates.
+// randPredicate and the sample-point machinery live in dnf_test.go.
+
+func samplePoints(r *rand.Rand, n int) []map[string]Value {
+	out := make([]map[string]Value, n)
+	cats := []string{"a", "b", "c", "d"}
+	for i := range out {
+		out[i] = map[string]Value{
+			"x": Num(float64(r.Intn(24))/2 - 1),
+			"y": Num(float64(r.Intn(24))/2 - 1),
+			"c": Str(cats[r.Intn(len(cats))]),
+		}
+	}
+	return out
+}
+
+func agree(t *testing.T, label string, a, b DNF, pts []map[string]Value) {
+	t.Helper()
+	for _, pt := range pts {
+		va, err := a.Evaluate(pt)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		vb, err := b.Evaluate(pt)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if va != vb {
+			t.Fatalf("%s: disagreement at %v\nA: %s\nB: %s", label, pt, a, b)
+		}
+	}
+}
+
+func TestReduceIsIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for i := 0; i < 150; i++ {
+		d, err := FromExpr(randPredicate(r, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		once := Reduce(d)
+		twice := Reduce(once)
+		if once.AtomCount() != twice.AtomCount() || len(once.Conjuncts()) != len(twice.Conjuncts()) {
+			t.Fatalf("iteration %d: reduce not idempotent\nonce:  %s\ntwice: %s", i, once, twice)
+		}
+	}
+}
+
+func TestNotIsInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for i := 0; i < 120; i++ {
+		d, err := FromExpr(randPredicate(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := samplePoints(r, 24)
+		// Reduce between the negations, as the engine itself always
+		// does — an unreduced double negation explodes combinatorially.
+		agree(t, "¬¬p == p", d, Reduce(Reduce(d.Not()).Not()), pts)
+	}
+}
+
+func TestDeMorganLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for i := 0; i < 120; i++ {
+		p, err := FromExpr(randPredicate(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := FromExpr(randPredicate(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := samplePoints(r, 24)
+		agree(t, "¬(p∧q) == ¬p∨¬q", p.And(q).Not(), p.Not().Or(q.Not()), pts)
+		agree(t, "¬(p∨q) == ¬p∧¬q", p.Or(q).Not(), p.Not().And(q.Not()), pts)
+	}
+}
+
+func TestInterDiffPartitionUnion(t *testing.T) {
+	// INTER(p,q) ∨ DIFF(p,q) must equal q, and they must be disjoint —
+	// the invariant the Fig. 4 rewrite depends on (every gated tuple is
+	// served exactly once: from the view or from evaluation).
+	r := rand.New(rand.NewSource(104))
+	for i := 0; i < 120; i++ {
+		p, err := FromExpr(randPredicate(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := FromExpr(randPredicate(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, diff := Inter(p, q), Diff(p, q)
+		for _, pt := range samplePoints(r, 30) {
+			inQ, _ := q.Evaluate(pt)
+			inInter, _ := inter.Evaluate(pt)
+			inDiff, _ := diff.Evaluate(pt)
+			if inInter && inDiff {
+				t.Fatalf("iteration %d: INTER and DIFF overlap at %v", i, pt)
+			}
+			if inQ != (inInter || inDiff) {
+				t.Fatalf("iteration %d: INTER ∪ DIFF ≠ q at %v\np=%s\nq=%s", i, pt, p, q)
+			}
+		}
+	}
+}
+
+func TestUnionIsCommutativeAndMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	for i := 0; i < 120; i++ {
+		p, err := FromExpr(randPredicate(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := FromExpr(randPredicate(r, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := samplePoints(r, 24)
+		agree(t, "p∨q == q∨p", Union(p, q), Union(q, p), pts)
+		// Union covers both operands.
+		u := Union(p, q)
+		for _, pt := range pts {
+			inP, _ := p.Evaluate(pt)
+			inU, _ := u.Evaluate(pt)
+			if inP && !inU {
+				t.Fatalf("union not monotone at %v", pt)
+			}
+		}
+	}
+}
+
+func TestReduceBudgetTerminates(t *testing.T) {
+	// A pathological many-disjunct predicate still reduces within the
+	// budget (the paper's timeout analogue) and preserves semantics.
+	r := rand.New(rand.NewSource(106))
+	var d DNF
+	first := true
+	for i := 0; i < 12; i++ {
+		p, err := FromExpr(randPredicate(r, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first {
+			d = p
+			first = false
+		} else {
+			d = d.Or(p)
+		}
+	}
+	reduced := ReduceWithBudget(d, 50)
+	for _, pt := range samplePoints(r, 40) {
+		a, _ := d.Evaluate(pt)
+		b, _ := reduced.Evaluate(pt)
+		if a != b {
+			t.Fatalf("budgeted reduction changed semantics at %v", pt)
+		}
+	}
+}

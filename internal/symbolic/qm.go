@@ -1,0 +1,243 @@
+package symbolic
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"eva/internal/expr"
+)
+
+// This file implements the Fig. 7 baseline: a Quine–McCluskey boolean
+// minimizer that — like SymPy's `simplify` — treats every atomic
+// predicate as an opaque boolean variable. It therefore cannot see
+// that `x < 10000` subsumes `x < 5000`, which is exactly the blind
+// spot the paper contrasts EVA's interval-aware reducer against.
+
+// QMMaxVars bounds the number of distinct atoms the minimizer handles;
+// beyond it the formula is returned unsimplified (mirroring `simplify`
+// giving up on large inputs and the predicate growing over time).
+const QMMaxVars = 16
+
+// QMResult is the outcome of a Quine–McCluskey minimization.
+type QMResult struct {
+	// Atoms are the distinct atomic predicates, in first-seen order.
+	Atoms []string
+	// Implicants are the selected prime implicants; each maps an atom
+	// index to the required truth value.
+	Implicants []map[int]bool
+	// AtomCount is the number of literals across implicants — the
+	// quantity Fig. 7 plots.
+	AtomCount int
+	// GaveUp reports that the formula exceeded QMMaxVars and was
+	// returned unsimplified.
+	GaveUp bool
+}
+
+// QMSimplify minimizes a boolean predicate treating each atomic
+// sub-expression (comparison, call, column, IS NULL) as an opaque
+// variable, using Quine–McCluskey prime-implicant generation with a
+// greedy cover.
+func QMSimplify(e expr.Expr) (QMResult, error) {
+	if e == nil {
+		return QMResult{}, nil
+	}
+	atoms, order := collectAtoms(e)
+	n := len(order)
+	if n > QMMaxVars {
+		return QMResult{Atoms: order, AtomCount: countLiterals(e), GaveUp: true}, nil
+	}
+
+	// Enumerate minterms.
+	var minterms []uint32
+	for m := uint32(0); m < 1<<n; m++ {
+		v, err := evalOpaque(e, atoms, m)
+		if err != nil {
+			return QMResult{}, err
+		}
+		if v {
+			minterms = append(minterms, m)
+		}
+	}
+	if len(minterms) == 0 {
+		return QMResult{Atoms: order}, nil // FALSE
+	}
+	if len(minterms) == 1<<n {
+		return QMResult{Atoms: order, Implicants: []map[int]bool{{}}}, nil // TRUE
+	}
+
+	primes := primeImplicants(minterms, n)
+	chosen := greedyCover(primes, minterms)
+
+	res := QMResult{Atoms: order}
+	for _, p := range chosen {
+		imp := map[int]bool{}
+		for b := 0; b < n; b++ {
+			if p.mask&(1<<b) == 0 {
+				imp[b] = p.value&(1<<b) != 0
+			}
+		}
+		res.Implicants = append(res.Implicants, imp)
+		res.AtomCount += len(imp)
+	}
+	return res, nil
+}
+
+// implicant is a cube: bits set in mask are "don't care".
+type implicant struct {
+	value, mask uint32
+}
+
+func (p implicant) covers(m uint32) bool {
+	return (m &^ p.mask) == (p.value &^ p.mask)
+}
+
+func primeImplicants(minterms []uint32, _ int) []implicant {
+	current := make(map[implicant]struct{}, len(minterms))
+	for _, m := range minterms {
+		current[implicant{value: m}] = struct{}{}
+	}
+	var primes []implicant
+	for len(current) > 0 {
+		next := map[implicant]struct{}{}
+		combined := map[implicant]bool{}
+		list := make([]implicant, 0, len(current))
+		for p := range current {
+			list = append(list, p)
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := (a.value ^ b.value) &^ a.mask
+				if bits.OnesCount32(diff) != 1 {
+					continue
+				}
+				merged := implicant{value: a.value &^ diff, mask: a.mask | diff}
+				next[merged] = struct{}{}
+				combined[a] = true
+				combined[b] = true
+			}
+		}
+		for _, p := range list {
+			if !combined[p] {
+				primes = append(primes, p)
+			}
+		}
+		current = next
+	}
+	return primes
+}
+
+func greedyCover(primes []implicant, minterms []uint32) []implicant {
+	// Deterministic order: wider cubes (more don't-cares) first, then by value.
+	sort.Slice(primes, func(i, j int) bool {
+		ci, cj := bits.OnesCount32(primes[i].mask), bits.OnesCount32(primes[j].mask)
+		if ci != cj {
+			return ci > cj
+		}
+		if primes[i].value != primes[j].value {
+			return primes[i].value < primes[j].value
+		}
+		return primes[i].mask < primes[j].mask
+	})
+	uncovered := make(map[uint32]struct{}, len(minterms))
+	for _, m := range minterms {
+		uncovered[m] = struct{}{}
+	}
+	var chosen []implicant
+	for len(uncovered) > 0 {
+		best, bestCount := -1, 0
+		for i, p := range primes {
+			count := 0
+			for m := range uncovered {
+				if p.covers(m) {
+					count++
+				}
+			}
+			if count > bestCount {
+				best, bestCount = i, count
+			}
+		}
+		if best < 0 {
+			break // unreachable when primes cover all minterms
+		}
+		chosen = append(chosen, primes[best])
+		for m := range uncovered {
+			if primes[best].covers(m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	return chosen
+}
+
+// collectAtoms maps each distinct atomic sub-expression to a bit index.
+func collectAtoms(e expr.Expr) (map[string]int, []string) {
+	atoms := map[string]int{}
+	var order []string
+	var walk func(expr.Expr)
+	walk = func(n expr.Expr) {
+		switch t := n.(type) {
+		case *expr.Logic:
+			walk(t.L)
+			walk(t.R)
+		case *expr.Not:
+			walk(t.E)
+		default:
+			key := n.String()
+			if _, ok := atoms[key]; !ok {
+				atoms[key] = len(order)
+				order = append(order, key)
+			}
+		}
+	}
+	walk(e)
+	return atoms, order
+}
+
+// evalOpaque evaluates the boolean structure of e under the atom
+// assignment encoded in mask m.
+func evalOpaque(e expr.Expr, atoms map[string]int, m uint32) (bool, error) {
+	switch t := e.(type) {
+	case *expr.Logic:
+		l, err := evalOpaque(t.L, atoms, m)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalOpaque(t.R, atoms, m)
+		if err != nil {
+			return false, err
+		}
+		if t.Op == expr.OpAnd {
+			return l && r, nil
+		}
+		return l || r, nil
+	case *expr.Not:
+		v, err := evalOpaque(t.E, atoms, m)
+		return !v, err
+	default:
+		idx, ok := atoms[e.String()]
+		if !ok {
+			return false, fmt.Errorf("symbolic: unregistered atom %q", e)
+		}
+		return m&(1<<idx) != 0, nil
+	}
+}
+
+// countLiterals counts atomic predicate occurrences in an expression,
+// the formula size reported when the minimizer gives up.
+func countLiterals(e expr.Expr) int {
+	switch t := e.(type) {
+	case *expr.Logic:
+		return countLiterals(t.L) + countLiterals(t.R)
+	case *expr.Not:
+		return countLiterals(t.E)
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}

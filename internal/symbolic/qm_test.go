@@ -1,0 +1,157 @@
+package symbolic
+
+import (
+	"testing"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+func TestQMSimplifyBooleanIdentities(t *testing.T) {
+	a := cmp(expr.OpGt, col("x"), num(5))
+	b := cmp(expr.OpLt, col("y"), num(3))
+
+	// a ∨ (a ∧ b) = a  (absorption — QM handles this).
+	res, err := QMSimplify(or(a, and(a, b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AtomCount != 1 {
+		t.Errorf("absorption: atoms = %d, want 1", res.AtomCount)
+	}
+
+	// a ∧ ¬a = FALSE.
+	res, err = QMSimplify(and(a, expr.NewNot(a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Implicants) != 0 || res.AtomCount != 0 {
+		t.Errorf("contradiction: %+v", res)
+	}
+
+	// a ∨ ¬a = TRUE (single empty implicant).
+	res, err = QMSimplify(or(a, expr.NewNot(a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Implicants) != 1 || len(res.Implicants[0]) != 0 {
+		t.Errorf("tautology: %+v", res)
+	}
+}
+
+func TestQMCannotReasonAboutIntervals(t *testing.T) {
+	// The defining blind spot (Fig. 7): x>6 ∨ x>9 is 2 opaque atoms to
+	// QM but 1 atom to EVA's reducer.
+	e := or(cmp(expr.OpGt, col("x"), num(6)), cmp(expr.OpGt, col("x"), num(9)))
+	res, err := QMSimplify(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AtomCount != 2 {
+		t.Errorf("QM atoms = %d, want 2 (cannot merge inequalities)", res.AtomCount)
+	}
+	d := mustDNF(t, e)
+	if got := Reduce(d).AtomCount(); got != 1 {
+		t.Errorf("EVA atoms = %d, want 1", got)
+	}
+}
+
+func TestQMXorStructure(t *testing.T) {
+	a := cmp(expr.OpGt, col("x"), num(1))
+	b := cmp(expr.OpGt, col("y"), num(1))
+	xor := or(and(a, expr.NewNot(b)), and(expr.NewNot(a), b))
+	res, err := QMSimplify(xor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XOR is not reducible: two implicants of two literals each.
+	if len(res.Implicants) != 2 || res.AtomCount != 4 {
+		t.Errorf("xor: implicants=%d atoms=%d, want 2/4", len(res.Implicants), res.AtomCount)
+	}
+}
+
+func TestQMConsensusReduction(t *testing.T) {
+	// (a∧b) ∨ (¬a∧c) ∨ (b∧c): consensus term b∧c is redundant.
+	a := cmp(expr.OpGt, col("x"), num(1))
+	b := cmp(expr.OpGt, col("y"), num(1))
+	c := cmp(expr.OpEq, col("c"), str("v"))
+	e := or(or(and(a, b), and(expr.NewNot(a), c)), and(b, c))
+	res, err := QMSimplify(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AtomCount != 4 {
+		t.Errorf("consensus: atoms = %d, want 4 ((a∧b) ∨ (¬a∧c))", res.AtomCount)
+	}
+}
+
+func TestQMGivesUpBeyondMaxVars(t *testing.T) {
+	var e expr.Expr
+	for i := 0; i < QMMaxVars+1; i++ {
+		atom := cmp(expr.OpGt, col("x"), num(float64(i)))
+		if e == nil {
+			e = atom
+		} else {
+			e = or(e, atom)
+		}
+	}
+	res, err := QMSimplify(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.GaveUp {
+		t.Error("should give up beyond QMMaxVars")
+	}
+	if res.AtomCount != QMMaxVars+1 {
+		t.Errorf("gave-up atom count = %d, want %d", res.AtomCount, QMMaxVars+1)
+	}
+}
+
+func TestQMNilAndConst(t *testing.T) {
+	res, err := QMSimplify(nil)
+	if err != nil || res.AtomCount != 0 {
+		t.Errorf("nil: %+v, %v", res, err)
+	}
+	// A boolean constant is treated as an opaque atom by the opaque
+	// evaluator; just ensure no error and sane output.
+	if _, err := QMSimplify(expr.NewConst(types.NewBool(true))); err != nil {
+		t.Errorf("const: %v", err)
+	}
+}
+
+func TestSelectivityUniform(t *testing.T) {
+	stats := UniformStats{Lo: 0, Hi: 100, DomainSize: 4}
+	d := mustDNF(t, cmp(expr.OpLt, col("x"), num(25)))
+	if got := Selectivity(d, stats); got < 0.24 || got > 0.26 {
+		t.Errorf("sel(x<25) = %v, want 0.25", got)
+	}
+	d = mustDNF(t, and(cmp(expr.OpLt, col("x"), num(50)), cmp(expr.OpEq, col("c"), str("a"))))
+	if got := Selectivity(d, stats); got < 0.12 || got > 0.13 {
+		t.Errorf("sel = %v, want 0.125", got)
+	}
+	// Disjunction with overlap correction: x<50 ∨ x<25 reduces to x<50.
+	d = Reduce(mustDNF(t, or(cmp(expr.OpLt, col("x"), num(50)), cmp(expr.OpLt, col("x"), num(25)))))
+	if got := Selectivity(d, stats); got < 0.49 || got > 0.51 {
+		t.Errorf("sel = %v, want 0.5", got)
+	}
+	if got := Selectivity(False(), stats); got != 0 {
+		t.Errorf("sel(FALSE) = %v", got)
+	}
+	if got := Selectivity(True(), stats); got != 1 {
+		t.Errorf("sel(TRUE) = %v", got)
+	}
+	// Unreduced overlapping disjuncts: inclusion-exclusion keeps it ≈ 0.5.
+	d1 := mustDNF(t, cmp(expr.OpLt, col("x"), num(50)))
+	d2 := mustDNF(t, cmp(expr.OpLt, col("x"), num(25)))
+	if got := Selectivity(d1.Or(d2), stats); got < 0.49 || got > 0.51 {
+		t.Errorf("inclusion-exclusion sel = %v, want 0.5", got)
+	}
+}
+
+func TestSelectivityCategoricalNegation(t *testing.T) {
+	stats := UniformStats{Lo: 0, Hi: 1, DomainSize: 5}
+	d := mustDNF(t, cmp(expr.OpNe, col("c"), str("a")))
+	if got := Selectivity(d, stats); got < 0.79 || got > 0.81 {
+		t.Errorf("sel(c != a) = %v, want 0.8", got)
+	}
+}

@@ -1,0 +1,233 @@
+package symbolic
+
+import "sort"
+
+// This file implements Algorithm 1 of the paper: predicate reduction.
+// A DNF's conjuncts are first reduced independently (which our
+// representation does by construction — per-term constraints are always
+// normalized interval/categorical sets), then pairs of conjuncts are
+// repeatedly combined when one is a subset of the other in at least
+// N−1 of the N dimensions of their union, mirroring the three
+// two-dimensional cases of Fig. 2:
+//
+//	(i)   full subset            → drop the smaller conjunct
+//	(ii)  equal in all but one   → union the remaining dimension
+//	(iii) subset in all but one  → carve the overlap out of the larger
+//	                               region's remaining dimension, making
+//	                               the pair disjoint
+//
+// The loop runs until a fixpoint or until the iteration budget is
+// exhausted (the paper uses a wall-clock timeout; a deterministic
+// iteration budget keeps runs reproducible).
+
+// ReduceBudget bounds the pairwise-reduction work per Reduce call.
+// The default is generous for the predicate sizes exploratory queries
+// produce (tens of atoms).
+const ReduceBudget = 10_000
+
+// Reduce simplifies the predicate per Algorithm 1 and returns the
+// reduced DNF. Reduction preserves semantics exactly.
+func Reduce(d DNF) DNF {
+	return ReduceWithBudget(d, ReduceBudget)
+}
+
+// ReduceWithBudget is Reduce with an explicit pairwise-work budget.
+func ReduceWithBudget(d DNF, budget int) DNF {
+	// Step 1-2: drop unsatisfiable conjuncts (per-conjunct reduction is
+	// inherent in the normalized constraint representation).
+	conjs := make([]Conjunct, 0, len(d.conjs))
+	for _, c := range d.conjs {
+		if !c.Empty() {
+			conjs = append(conjs, c)
+		}
+	}
+
+	// Step 3: pairwise cross-conjunct reduction until fixpoint/budget.
+	changed := true
+	for changed && budget > 0 {
+		changed = false
+		for i := 0; i < len(conjs) && budget > 0; i++ {
+			for j := i + 1; j < len(conjs) && budget > 0; j++ {
+				budget--
+				a, b, act := reduceUnionConjunctives(conjs[i], conjs[j])
+				switch act {
+				case actNone:
+					continue
+				case actMerged:
+					conjs[i] = a
+					conjs = append(conjs[:j], conjs[j+1:]...)
+					changed = true
+					j--
+				case actRewrote:
+					conjs[i], conjs[j] = a, b
+					if conjs[j].Empty() {
+						conjs = append(conjs[:j], conjs[j+1:]...)
+						j--
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	return DNF{conjs: conjs}
+}
+
+type reduceAction int
+
+const (
+	actNone reduceAction = iota
+	actMerged
+	actRewrote
+)
+
+// reduceUnionConjunctives implements ReduceUnionConjunctives of
+// Algorithm 1 for a pair of conjuncts: it looks for a dimension such
+// that one conjunct is a subset of the other in every *other* dimension,
+// then reduces the union along the remaining dimension.
+func reduceUnionConjunctives(c1, c2 Conjunct) (a, b Conjunct, act reduceAction) {
+	dims := unionTerms(c1, c2)
+
+	// Classify each dimension.
+	var (
+		diffDims     []string // dimensions where constraints differ
+		c1SubAll     = true   // c1 ⊆ c2 on every dim
+		c2SubAll     = true
+		c1SubExcept  = 0 // count of dims where c1 ⊄ c2
+		c2SubExcept  = 0
+		c1NotSubDim  string
+		c2NotSubDim  string
+		typeConflict bool
+	)
+	for _, t := range dims {
+		ref1, ok1 := c1.cons[t]
+		ref2, ok2 := c2.cons[t]
+		var a1, a2 Constraint
+		switch {
+		case ok1 && ok2:
+			if ref1.typeMismatch(ref2) {
+				typeConflict = true
+			}
+			a1, a2 = ref1, ref2
+		case ok1:
+			a1, a2 = ref1, fullLike(ref1)
+		default:
+			a1, a2 = fullLike(ref2), ref2
+		}
+		if typeConflict {
+			return c1, c2, actNone
+		}
+		if !a1.Equal(a2) {
+			diffDims = append(diffDims, t)
+		}
+		if !a1.SubsetOf(a2) {
+			c1SubAll = false
+			c1SubExcept++
+			c1NotSubDim = t
+		}
+		if !a2.SubsetOf(a1) {
+			c2SubAll = false
+			c2SubExcept++
+			c2NotSubDim = t
+		}
+	}
+
+	// Case (i): full containment — drop the contained conjunct.
+	if c1SubAll {
+		return c2, c1, actMerged
+	}
+	if c2SubAll {
+		return c1, c2, actMerged
+	}
+
+	// Case (ii): equal in all dims but one — union the differing dim.
+	if len(diffDims) == 1 {
+		t := diffDims[0]
+		ref := c1.cons[t]
+		if _, ok := c1.cons[t]; !ok {
+			ref = c2.cons[t]
+		}
+		u := c1.get(t, ref).Union(c2.get(t, ref))
+		merged := c1.clone()
+		if u.Full() {
+			delete(merged.cons, t)
+		} else {
+			merged.cons[t] = u
+		}
+		return merged, c2, actMerged
+	}
+
+	// Case (iii): c2 ⊆ c1 in all dims except exactly one — make the
+	// conjuncts disjoint by removing c1's overlap from c2 along that
+	// dimension (and symmetrically). Only worthwhile if they overlap.
+	if c2SubExcept == 1 {
+		return carveOverlap(c1, c2, c2NotSubDim)
+	}
+	if c1SubExcept == 1 {
+		b2, a2, act := carveOverlap(c2, c1, c1NotSubDim)
+		return a2, b2, act
+	}
+	return c1, c2, actNone
+}
+
+// carveOverlap handles case (iii): small ⊆ big in every dimension
+// except dim; shrink small's dim-constraint by subtracting big's, which
+// preserves the union while making the pair disjoint.
+func carveOverlap(big, small Conjunct, dim string) (a, b Conjunct, act reduceAction) {
+	ref, ok := big.cons[dim]
+	if !ok {
+		ref = small.cons[dim]
+	}
+	bigDim := big.get(dim, ref)
+	smallDim := small.get(dim, ref)
+	if bigDim.typeMismatch(smallDim) {
+		return big, small, actNone
+	}
+	inter := smallDim.Intersect(bigDim)
+	if inter.Empty() {
+		return big, small, actNone // already disjoint along dim
+	}
+	var carved Constraint
+	if smallDim.Numeric {
+		carved = NumConstraint(smallDim.Ivs.Minus(bigDim.Ivs))
+	} else {
+		carved = CatConstraint(smallDim.Cat.Intersect(bigDim.Cat.Complement()))
+	}
+	// Reduction must be monotone in formula size: keep the carve only if
+	// it does not inflate the conjunct (it always preserves semantics,
+	// but carving an unconstrained dimension would add atoms).
+	if !carved.Empty() && carved.AtomCount() > smallDim.AtomCount() {
+		return big, small, actNone
+	}
+	out := small.clone()
+	out.cons[dim] = carved
+	return big, out, actRewrote
+}
+
+func unionTerms(c1, c2 Conjunct) []string {
+	set := map[string]struct{}{}
+	for t := range c1.cons {
+		set[t] = struct{}{}
+	}
+	for t := range c2.cons {
+		set[t] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	// Deterministic order for reproducible reductions.
+	sort.Strings(out)
+	return out
+}
+
+// Inter returns the reduced intersection predicate INTER(p1, p2) = p1 ∧ p2:
+// the tuples where a new invocation may reuse materialized results (§3.2).
+func Inter(p1, p2 DNF) DNF { return Reduce(p1.And(p2)) }
+
+// Diff returns the reduced difference predicate DIFF(p1, p2) = ¬p1 ∧ p2:
+// the tuples where reuse is not possible and the UDF must run (§3.2).
+func Diff(p1, p2 DNF) DNF { return Reduce(p1.Not().And(p2)) }
+
+// Union returns the reduced union predicate UNION(p1, p2) = p1 ∨ p2:
+// the tuples with materialized results after both invocations (§3.2).
+func Union(p1, p2 DNF) DNF { return Reduce(p1.Or(p2)) }

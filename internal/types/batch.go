@@ -1,0 +1,177 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Batch is a columnar collection of rows sharing one schema. It is the
+// unit of data flow between execution operators and the unit of storage
+// in segments and materialized views.
+//
+// The zero Batch is empty and unusable; construct with NewBatch.
+type Batch struct {
+	schema Schema
+	cols   [][]Datum
+	n      int
+}
+
+// NewBatch returns an empty batch with the given schema.
+func NewBatch(schema Schema) *Batch {
+	cols := make([][]Datum, len(schema))
+	return &Batch{schema: schema, cols: cols}
+}
+
+// NewBatchCapacity returns an empty batch with per-column capacity hint.
+func NewBatchCapacity(schema Schema, capacity int) *Batch {
+	b := NewBatch(schema)
+	for i := range b.cols {
+		b.cols[i] = make([]Datum, 0, capacity)
+	}
+	return b
+}
+
+// Schema returns the batch schema. Callers must not mutate it.
+func (b *Batch) Schema() Schema { return b.schema }
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// AppendRow appends one row. The number of datums must match the schema
+// width; kinds are checked loosely (NULL is accepted in any column).
+func (b *Batch) AppendRow(row ...Datum) error {
+	if len(row) != len(b.schema) {
+		return fmt.Errorf("types: append row of width %d to batch of width %d", len(row), len(b.schema))
+	}
+	for i, d := range row {
+		if !d.IsNull() && b.schema[i].Kind != d.Kind() && !(b.schema[i].Kind.Numeric() && d.Kind().Numeric()) {
+			return fmt.Errorf("types: column %q expects %s, got %s", b.schema[i].Name, b.schema[i].Kind, d.Kind())
+		}
+		b.cols[i] = append(b.cols[i], d)
+	}
+	b.n++
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on error; for generators whose
+// schemas are statically correct.
+func (b *Batch) MustAppendRow(row ...Datum) {
+	if err := b.AppendRow(row...); err != nil {
+		panic(err)
+	}
+}
+
+// At returns the datum at (row, col).
+func (b *Batch) At(row, col int) Datum { return b.cols[col][row] }
+
+// Col returns the backing slice for a column. Callers must treat it as
+// read-only.
+func (b *Batch) Col(col int) []Datum { return b.cols[col] }
+
+// ColByName returns the backing slice for the named column, or nil.
+func (b *Batch) ColByName(name string) []Datum {
+	i := b.schema.IndexOf(name)
+	if i < 0 {
+		return nil
+	}
+	return b.cols[i]
+}
+
+// Row materializes row i as a datum slice (a copy).
+func (b *Batch) Row(i int) []Datum {
+	out := make([]Datum, len(b.cols))
+	for c := range b.cols {
+		out[c] = b.cols[c][i]
+	}
+	return out
+}
+
+// AppendBatch appends all rows of other, whose schema must be equal.
+func (b *Batch) AppendBatch(other *Batch) error {
+	if !b.schema.Equal(other.schema) {
+		return fmt.Errorf("types: append batch %s to batch %s", other.schema, b.schema)
+	}
+	for c := range b.cols {
+		b.cols[c] = append(b.cols[c], other.cols[c]...)
+	}
+	b.n += other.n
+	return nil
+}
+
+// Filter returns a new batch containing the rows where keep[i] is true.
+func (b *Batch) Filter(keep []bool) *Batch {
+	out := NewBatch(b.schema)
+	for c := range b.cols {
+		col := make([]Datum, 0, b.n)
+		for r, k := range keep {
+			if k {
+				col = append(col, b.cols[c][r])
+			}
+		}
+		out.cols[c] = col
+	}
+	for _, k := range keep {
+		if k {
+			out.n++
+		}
+	}
+	return out
+}
+
+// Project returns a new batch with only the named columns, sharing the
+// underlying column storage.
+func (b *Batch) Project(names []string) (*Batch, error) {
+	schema, err := b.schema.Project(names)
+	if err != nil {
+		return nil, err
+	}
+	out := &Batch{schema: schema, cols: make([][]Datum, len(names)), n: b.n}
+	for i, name := range names {
+		out.cols[i] = b.cols[b.schema.IndexOf(name)]
+	}
+	return out, nil
+}
+
+// Slice returns a view of rows [lo, hi), sharing column storage.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	out := &Batch{schema: b.schema, cols: make([][]Datum, len(b.cols)), n: hi - lo}
+	for c := range b.cols {
+		out.cols[c] = b.cols[c][lo:hi]
+	}
+	return out
+}
+
+// EncodedSize returns the total canonical encoded size of all datums,
+// used for storage-footprint accounting.
+func (b *Batch) EncodedSize() int {
+	total := 0
+	for _, col := range b.cols {
+		for _, d := range col {
+			total += d.EncodedSize()
+		}
+	}
+	return total
+}
+
+// String renders up to 10 rows for debugging.
+func (b *Batch) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Batch%s %d rows", b.schema, b.n)
+	limit := b.n
+	if limit > 10 {
+		limit = 10
+	}
+	for r := 0; r < limit; r++ {
+		sb.WriteString("\n  ")
+		for c := range b.cols {
+			if c > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(b.cols[c][r].String())
+		}
+	}
+	if b.n > limit {
+		fmt.Fprintf(&sb, "\n  ... (%d more)", b.n-limit)
+	}
+	return sb.String()
+}

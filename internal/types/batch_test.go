@@ -1,0 +1,182 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) Schema {
+	t.Helper()
+	s, err := NewSchema(Column{"id", KindInt}, Column{"label", KindString}, Column{"area", KindFloat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if got := s.IndexOf("LABEL"); got != 1 {
+		t.Errorf("IndexOf(LABEL) = %d, want 1 (case-insensitive)", got)
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Error("IndexOf(missing) should be -1")
+	}
+	if !s.Has("id") || s.Has("nope") {
+		t.Error("Has misbehaves")
+	}
+	if s.KindOf("area") != KindFloat || s.KindOf("nope") != KindNull {
+		t.Error("KindOf misbehaves")
+	}
+	if got := s.String(); got != "(id INTEGER, label TEXT, area FLOAT)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaDuplicate(t *testing.T) {
+	if _, err := NewSchema(Column{"a", KindInt}, Column{"A", KindFloat}); err == nil {
+		t.Fatal("duplicate column names (case-insensitive) should error")
+	}
+}
+
+func TestSchemaConcatDisambiguates(t *testing.T) {
+	s := MustSchema(Column{"id", KindInt})
+	out := s.Concat(MustSchema(Column{"id", KindInt}, Column{"bbox", KindString}))
+	if len(out) != 3 {
+		t.Fatalf("concat width = %d, want 3", len(out))
+	}
+	if out[1].Name != "id_r" {
+		t.Errorf("duplicate column renamed to %q, want id_r", out[1].Name)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema(t)
+	p, err := s.Project([]string{"area", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0].Name != "area" || p[1].Name != "id" {
+		t.Errorf("project order wrong: %s", p)
+	}
+	if _, err := s.Project([]string{"ghost"}); err == nil {
+		t.Error("project unknown column should error")
+	}
+}
+
+func TestSchemaEqualClone(t *testing.T) {
+	s := testSchema(t)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c[0].Name = "other"
+	if s.Equal(c) {
+		t.Error("equal after mutation")
+	}
+	if s.Equal(s[:2]) {
+		t.Error("prefix should not be equal")
+	}
+	names := s.Names()
+	if len(names) != 3 || names[2] != "area" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestBatchAppendAndAccess(t *testing.T) {
+	b := NewBatch(testSchema(t))
+	if err := b.AppendRow(NewInt(1), NewString("car"), NewFloat(0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(NewInt(2), Null, NewFloat(0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if got := b.At(0, 1).Str(); got != "car" {
+		t.Errorf("At(0,1) = %q", got)
+	}
+	if !b.At(1, 1).IsNull() {
+		t.Error("null not preserved")
+	}
+	row := b.Row(1)
+	if row[0].Int() != 2 {
+		t.Errorf("Row(1)[0] = %v", row[0])
+	}
+	if col := b.ColByName("area"); len(col) != 2 || col[0].Float() != 0.3 {
+		t.Errorf("ColByName(area) = %v", col)
+	}
+	if b.ColByName("ghost") != nil {
+		t.Error("ColByName(ghost) should be nil")
+	}
+}
+
+func TestBatchAppendErrors(t *testing.T) {
+	b := NewBatch(testSchema(t))
+	if err := b.AppendRow(NewInt(1)); err == nil {
+		t.Error("short row should error")
+	}
+	if err := b.AppendRow(NewString("x"), NewString("car"), NewFloat(0)); err == nil {
+		t.Error("kind mismatch should error")
+	}
+	// Numeric coercion is allowed.
+	if err := b.AppendRow(NewFloat(1), NewString("car"), NewInt(0)); err != nil {
+		t.Errorf("numeric coercion rejected: %v", err)
+	}
+}
+
+func TestBatchFilterProjectSlice(t *testing.T) {
+	b := NewBatchCapacity(testSchema(t), 4)
+	for i := 0; i < 4; i++ {
+		b.MustAppendRow(NewInt(int64(i)), NewString("car"), NewFloat(float64(i)/10))
+	}
+	f := b.Filter([]bool{true, false, true, false})
+	if f.Len() != 2 || f.At(1, 0).Int() != 2 {
+		t.Errorf("filter wrong: %v", f)
+	}
+	p, err := b.Project([]string{"area"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 || len(p.Schema()) != 1 {
+		t.Errorf("project wrong: %v", p)
+	}
+	s := b.Slice(1, 3)
+	if s.Len() != 2 || s.At(0, 0).Int() != 1 {
+		t.Errorf("slice wrong: %v", s)
+	}
+}
+
+func TestBatchAppendBatch(t *testing.T) {
+	a := NewBatch(testSchema(t))
+	a.MustAppendRow(NewInt(1), NewString("car"), NewFloat(0.5))
+	b := NewBatch(testSchema(t))
+	b.MustAppendRow(NewInt(2), NewString("bus"), NewFloat(0.7))
+	if err := a.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 || a.At(1, 1).Str() != "bus" {
+		t.Errorf("append batch wrong: %v", a)
+	}
+	other := NewBatch(MustSchema(Column{"x", KindInt}))
+	if err := a.AppendBatch(other); err == nil {
+		t.Error("schema mismatch should error")
+	}
+}
+
+func TestBatchEncodedSizeAndString(t *testing.T) {
+	b := NewBatch(testSchema(t))
+	b.MustAppendRow(NewInt(1), NewString("car"), NewFloat(0.5))
+	want := NewInt(1).EncodedSize() + NewString("car").EncodedSize() + NewFloat(0.5).EncodedSize()
+	if got := b.EncodedSize(); got != want {
+		t.Errorf("EncodedSize = %d, want %d", got, want)
+	}
+	for i := 0; i < 15; i++ {
+		b.MustAppendRow(NewInt(int64(i)), NewString("car"), NewFloat(0.5))
+	}
+	s := b.String()
+	if !strings.Contains(s, "more") {
+		t.Errorf("String should elide rows: %q", s)
+	}
+}

@@ -1,0 +1,135 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes a single named, typed column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Column names are matched
+// case-insensitively, following EVA-QL identifier semantics.
+type Schema []Column
+
+// NewSchema builds a schema from alternating name/kind pairs declared
+// as Column literals; it validates that names are unique.
+func NewSchema(cols ...Column) (Schema, error) {
+	seen := make(map[string]struct{}, len(cols))
+	for _, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("types: duplicate column %q", c.Name)
+		}
+		seen[key] = struct{}{}
+	}
+	return Schema(cols), nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically known schemas.
+func MustSchema(cols ...Column) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// IndexOf returns the position of the named column, or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named column.
+func (s Schema) Has(name string) bool { return s.IndexOf(name) >= 0 }
+
+// KindOf returns the kind of the named column; KindNull if absent.
+func (s Schema) KindOf(name string) Kind {
+	if i := s.IndexOf(name); i >= 0 {
+		return s[i].Kind
+	}
+	return KindNull
+}
+
+// Concat returns a new schema with the columns of both schemas. Duplicate
+// names from other are suffixed with an apostrophe-free "_r" disambiguator,
+// mirroring how the Apply operator joins its input with UDF outputs.
+func (s Schema) Concat(other Schema) Schema {
+	out := make(Schema, 0, len(s)+len(other))
+	out = append(out, s...)
+	for _, c := range other {
+		name := c.Name
+		for out.Has(name) {
+			name += "_r"
+		}
+		out = append(out, Column{Name: name, Kind: c.Kind})
+	}
+	return out
+}
+
+// Project returns the schema restricted to the given column names,
+// in the given order.
+func (s Schema) Project(names []string) (Schema, error) {
+	out := make(Schema, 0, len(names))
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			return nil, fmt.Errorf("types: project: unknown column %q in schema %s", n, s)
+		}
+		out = append(out, s[i])
+	}
+	return out, nil
+}
+
+// Equal reports whether two schemas have the same columns in order.
+func (s Schema) Equal(other Schema) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if !strings.EqualFold(s[i].Name, other[i].Name) || s[i].Kind != other[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a INTEGER, b TEXT)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

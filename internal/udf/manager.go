@@ -1,0 +1,103 @@
+package udf
+
+import (
+	"sync"
+
+	"eva/internal/symbolic"
+)
+
+// Entry is the UDFManager's record for one UDF signature: the
+// aggregated predicate p_u (the union of the predicates of every
+// invocation materialized so far — FALSE until the UDF first runs) and
+// the name of the backing materialized view.
+type Entry struct {
+	Sig      Signature
+	Agg      symbolic.DNF
+	ViewName string
+}
+
+// Manager is the UDFMANAGER component (§3.1): it maps UDF signatures
+// to their aggregated predicates and materialized views, and answers
+// the symbolic reuse queries (p∩, p−) the optimizer issues.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{entries: map[string]*Entry{}}
+}
+
+// Lookup returns the entry for a signature, creating it (with p_u =
+// FALSE, per §4.1) on first sight.
+func (m *Manager) Lookup(sig Signature) *Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := sig.Key()
+	e, ok := m.entries[key]
+	if !ok {
+		e = &Entry{Sig: sig, Agg: symbolic.False(), ViewName: sig.ViewName()}
+		m.entries[key] = e
+	}
+	return e
+}
+
+// Peek returns the entry if it exists, without creating it.
+func (m *Manager) Peek(sig Signature) (*Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[sig.Key()]
+	return e, ok
+}
+
+// Analysis is the outcome of the symbolic reuse analysis for one UDF
+// invocation: the reduced intersection and difference predicates and
+// the aggregated predicate after the invocation runs.
+type Analysis struct {
+	Inter symbolic.DNF // p∩: tuples servable from the view
+	Diff  symbolic.DNF // p−: tuples the UDF must still evaluate
+	Union symbolic.DNF // p∪: the updated aggregated predicate
+}
+
+// Analyze computes INTER(p_u, q), DIFF(p_u, q) and UNION(p_u, q) for
+// the signature's aggregated predicate and the invocation predicate q
+// (§3.2 challenge I).
+func (m *Manager) Analyze(sig Signature, q symbolic.DNF) Analysis {
+	e := m.Lookup(sig)
+	m.mu.Lock()
+	agg := e.Agg
+	m.mu.Unlock()
+	return Analysis{
+		Inter: symbolic.Inter(agg, q),
+		Diff:  symbolic.Diff(agg, q),
+		Union: symbolic.Union(agg, q),
+	}
+}
+
+// Commit records that the invocation with predicate q has been
+// materialized: p_u ← UNION(p_u, q).
+func (m *Manager) Commit(sig Signature, q symbolic.DNF) {
+	e := m.Lookup(sig)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e.Agg = symbolic.Union(e.Agg, q)
+}
+
+// Reset drops all entries (a fresh workload run).
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = map[string]*Entry{}
+}
+
+// Entries returns a snapshot of the manager's entries.
+func (m *Manager) Entries() []*Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	return out
+}

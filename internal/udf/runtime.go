@@ -1,0 +1,358 @@
+package udf
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"eva/internal/catalog"
+	"eva/internal/simclock"
+	"eva/internal/types"
+	"eva/internal/vision"
+	"eva/internal/xxhash"
+)
+
+// ScalarFunc is a Go implementation for a scalar UDF registered via
+// CREATE UDF (the Go analogue of Listing 2's IMPL path).
+type ScalarFunc func(args []types.Datum) (types.Datum, error)
+
+// Stats summarizes a UDF's activity over a workload: the quantities
+// behind Table 2 (hit percentage) and Table 3 (#DI, #TI).
+type Stats struct {
+	Distinct  int // #DI: distinct invocations demanded
+	Total     int // #TI: total invocations demanded
+	Reused    int // invocations satisfied from a view or cache
+	Evaluated int // invocations actually executed
+}
+
+// FunCacheHashThroughput is the simulated throughput of the xxHash
+// pass over UDF arguments in the FunCache baseline (bytes/second per
+// pass; the 128-bit key takes two passes). FunCacheStoreCost is the
+// per-miss cost of serializing the result into the in-memory cache.
+// Together they model the cumulative caching overhead the paper
+// measured in its Python engine — large enough that FunCache is a net
+// 0.95× *slowdown* on VBENCH-LOW (§5.2) despite a 24.7% hit rate.
+// Both are calibration constants documented in DESIGN.md.
+const (
+	FunCacheHashThroughput = 1.0e9 // bytes per second, per pass
+	FunCacheStoreCost      = 5 * time.Millisecond
+)
+
+// Runtime evaluates physical UDFs, charging profiled costs to the
+// virtual clock and maintaining demand/reuse counters. With FunCache
+// enabled it additionally keys every evaluation by a 128-bit xxHash of
+// the raw arguments and serves repeats from an in-memory cache —
+// the paper's tuple-level function-caching baseline.
+type Runtime struct {
+	cat   *catalog.Catalog
+	clock *simclock.Clock
+
+	mu       sync.Mutex
+	funCache bool
+	scalarC  map[xxhash.Key128]types.Datum
+	tableC   map[xxhash.Key128]*types.Batch
+	impls    map[string]ScalarFunc
+
+	demand map[string]map[uint64]int
+	total  map[string]int
+	reused map[string]int
+	evals  map[string]int
+}
+
+// NewRuntime returns a runtime over the catalog, charging the clock.
+func NewRuntime(cat *catalog.Catalog, clock *simclock.Clock) *Runtime {
+	return &Runtime{
+		cat:     cat,
+		clock:   clock,
+		scalarC: map[xxhash.Key128]types.Datum{},
+		tableC:  map[xxhash.Key128]*types.Batch{},
+		impls:   map[string]ScalarFunc{},
+		demand:  map[string]map[uint64]int{},
+		total:   map[string]int{},
+		reused:  map[string]int{},
+		evals:   map[string]int{},
+	}
+}
+
+// SetFunCache toggles the FunCache baseline behaviour.
+func (r *Runtime) SetFunCache(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funCache = on
+}
+
+// RegisterImpl installs a Go implementation for a scalar UDF created
+// with CREATE UDF.
+func (r *Runtime) RegisterImpl(name string, fn ScalarFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.impls[strings.ToLower(name)] = fn
+}
+
+// RecordDemand notes that the workload needed UDF u on the given
+// invocation key — whether or not it was ultimately reused. The
+// execution engine calls it once per (UDF, input tuple).
+func (r *Runtime) RecordDemand(u string, key string) {
+	u = strings.ToLower(u)
+	h := xxhash.Sum64([]byte(key), 0)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.demand[u]
+	if !ok {
+		m = map[uint64]int{}
+		r.demand[u] = m
+	}
+	m[h]++
+	r.total[u]++
+}
+
+// RecordReuse notes that one demanded invocation was served from a
+// materialized view.
+func (r *Runtime) RecordReuse(u string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reused[strings.ToLower(u)]++
+}
+
+// CounterSnapshot returns per-UDF stats.
+func (r *Runtime) CounterSnapshot() map[string]Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]Stats{}
+	for u, m := range r.demand {
+		out[u] = Stats{
+			Distinct:  len(m),
+			Total:     r.total[u],
+			Reused:    r.reused[u],
+			Evaluated: r.evals[u],
+		}
+	}
+	return out
+}
+
+// HitPercentage computes Table 2's metric over all UDFs: reused
+// invocations / total invocations × 100.
+func (r *Runtime) HitPercentage() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total, reused := 0, 0
+	for u := range r.demand {
+		total += r.total[u]
+		reused += r.reused[u]
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(reused) / float64(total)
+}
+
+// ResetCounters clears demand/reuse accounting (a fresh workload) and
+// drops the FunCache contents.
+func (r *Runtime) ResetCounters() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.demand = map[string]map[uint64]int{}
+	r.total = map[string]int{}
+	r.reused = map[string]int{}
+	r.evals = map[string]int{}
+	r.scalarC = map[xxhash.Key128]types.Datum{}
+	r.tableC = map[xxhash.Key128]*types.Batch{}
+}
+
+// hashArgs charges the simulated FunCache hashing cost and returns the
+// 128-bit key. The charged bytes are the *virtual* argument sizes: a
+// frame argument counts as its decoded RGB24 size, because that is
+// what the paper's engine feeds xxHash.
+func (r *Runtime) hashArgs(virtualBytes int, raw []byte) xxhash.Key128 {
+	perPass := time.Duration(float64(virtualBytes) / FunCacheHashThroughput * float64(time.Second))
+	r.clock.Charge(simclock.CatHash, 2*perPass) // two passes: 128-bit key
+	return xxhash.Sum128(raw)
+}
+
+func virtualArgBytes(args []types.Datum) int {
+	total := 0
+	for _, a := range args {
+		if a.Kind() == types.KindBytes {
+			if df, err := vision.DecodeFrame(a.Bytes()); err == nil {
+				total += df.Width * df.Height * 3
+				continue
+			}
+		}
+		total += a.EncodedSize()
+	}
+	return total
+}
+
+// rawArgs serializes the arguments prefixed by the UDF name: the paper
+// keeps a separate hash table per UDF, so keys must not collide across
+// UDFs that share argument tuples (CarType and ColorDet both take
+// (frame, bbox)).
+func rawArgs(udfName string, args []types.Datum) []byte {
+	buf := append([]byte(strings.ToLower(udfName)), 0)
+	for _, a := range args {
+		buf = a.AppendBinary(buf)
+	}
+	return buf
+}
+
+// EvalDetector runs a table UDF (object detector) on one frame,
+// returning detection rows in catalog.DetectorSchema. The profiled
+// per-tuple cost is charged unless FunCache serves the call.
+func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error) {
+	u, err := r.cat.UDF(name)
+	if err != nil {
+		return nil, err
+	}
+	if u.Kind != catalog.KindTableUDF {
+		return nil, fmt.Errorf("udf: %s is not a table UDF", name)
+	}
+	args := []types.Datum{types.NewBytes(payload)}
+	if r.isFunCache() {
+		key := r.hashArgs(virtualArgBytes(args), rawArgs(u.Name, args))
+		r.mu.Lock()
+		cached, ok := r.tableC[key]
+		r.mu.Unlock()
+		if ok {
+			r.RecordReuse(name)
+			return cached, nil
+		}
+		out, err := r.runDetector(u, payload)
+		if err != nil {
+			return nil, err
+		}
+		r.clock.Charge(simclock.CatHash, FunCacheStoreCost)
+		r.mu.Lock()
+		r.tableC[key] = out
+		r.mu.Unlock()
+		return out, nil
+	}
+	return r.runDetector(u, payload)
+}
+
+func (r *Runtime) runDetector(u *catalog.UDF, payload []byte) (*types.Batch, error) {
+	r.clock.Charge(simclock.CatUDF, u.Cost)
+	r.countEval(u.Name)
+	dets, err := vision.Detect(u.Name, payload)
+	if err != nil {
+		return nil, fmt.Errorf("udf: %s: %w", u.Name, err)
+	}
+	out := types.NewBatchCapacity(catalog.DetectorSchema, len(dets))
+	for _, d := range dets {
+		out.MustAppendRow(
+			types.NewString(d.Label),
+			types.NewString(d.BBox()),
+			types.NewFloat(d.Score),
+			types.NewFloat(d.Area()),
+		)
+	}
+	return out, nil
+}
+
+// EvalScalar runs a scalar UDF over one input tuple's argument values.
+func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, error) {
+	u, err := r.cat.UDF(name)
+	if err != nil {
+		return types.Null, err
+	}
+	if u.Kind != catalog.KindScalarUDF {
+		return types.Null, fmt.Errorf("udf: %s is not a scalar UDF", name)
+	}
+	if r.isFunCache() && u.Expensive {
+		key := r.hashArgs(virtualArgBytes(args), rawArgs(u.Name, args))
+		r.mu.Lock()
+		cached, ok := r.scalarC[key]
+		r.mu.Unlock()
+		if ok {
+			r.RecordReuse(name)
+			return cached, nil
+		}
+		out, err := r.runScalar(u, args)
+		if err != nil {
+			return types.Null, err
+		}
+		r.clock.Charge(simclock.CatHash, FunCacheStoreCost)
+		r.mu.Lock()
+		r.scalarC[key] = out
+		r.mu.Unlock()
+		return out, nil
+	}
+	return r.runScalar(u, args)
+}
+
+func (r *Runtime) runScalar(u *catalog.UDF, args []types.Datum) (types.Datum, error) {
+	r.clock.Charge(simclock.CatUDF, u.Cost)
+	r.countEval(u.Name)
+	switch {
+	case strings.HasPrefix(u.Impl, "builtin:"):
+		return r.runBuiltin(u, args)
+	default:
+		r.mu.Lock()
+		fn, ok := r.impls[strings.ToLower(u.Name)]
+		r.mu.Unlock()
+		if !ok {
+			return types.Null, fmt.Errorf("udf: no implementation registered for %s (impl %q)", u.Name, u.Impl)
+		}
+		return fn(args)
+	}
+}
+
+func (r *Runtime) runBuiltin(u *catalog.UDF, args []types.Datum) (types.Datum, error) {
+	argErr := func(want string) error {
+		return fmt.Errorf("udf: %s expects (%s), got %d args", u.Name, want, len(args))
+	}
+	switch strings.ToLower(u.Name) {
+	case "cartype", "colordet", "license":
+		if len(args) != 2 || args[0].Kind() != types.KindBytes || args[1].Kind() != types.KindString {
+			return types.Null, argErr("frame, bbox")
+		}
+		var (
+			v   string
+			err error
+		)
+		switch strings.ToLower(u.Name) {
+		case "cartype":
+			v, err = vision.ClassifyType(args[0].Bytes(), args[1].Str())
+		case "colordet":
+			v, err = vision.ClassifyColor(args[0].Bytes(), args[1].Str())
+		default:
+			v, err = vision.ReadLicense(args[0].Bytes(), args[1].Str())
+		}
+		if err != nil {
+			return types.Null, fmt.Errorf("udf: %s: %w", u.Name, err)
+		}
+		return types.NewString(v), nil
+	case "vehiclefilter":
+		if len(args) != 1 || args[0].Kind() != types.KindBytes {
+			return types.Null, argErr("frame")
+		}
+		ok, err := vision.FilterVehicles(args[0].Bytes())
+		if err != nil {
+			return types.Null, fmt.Errorf("udf: %s: %w", u.Name, err)
+		}
+		return types.NewBool(ok), nil
+	case "area":
+		if len(args) != 1 || args[0].Kind() != types.KindString {
+			return types.Null, argErr("bbox")
+		}
+		_, _, w, h, err := vision.ParseBBox(args[0].Str())
+		if err != nil {
+			return types.Null, fmt.Errorf("udf: area: %w", err)
+		}
+		return types.NewFloat(w * h), nil
+	default:
+		return types.Null, fmt.Errorf("udf: unknown builtin %s", u.Name)
+	}
+}
+
+func (r *Runtime) isFunCache() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.funCache
+}
+
+func (r *Runtime) countEval(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evals[strings.ToLower(name)]++
+}

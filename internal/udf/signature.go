@@ -1,0 +1,88 @@
+// Package udf implements the UDF runtime and the UDFManager of §3.1:
+// UDF signatures, the per-signature aggregated predicate p_u, the
+// binding from signatures to materialized views, cost-charged model
+// evaluation, the FunCache tuple-level result cache baseline, and the
+// demand/reuse counters behind Table 2 (hit percentage) and Table 3
+// (#DI / #TI).
+package udf
+
+import (
+	"fmt"
+	"strings"
+
+	"eva/internal/expr"
+)
+
+// Signature is a UDF's unique fingerprint S_u = [N_u; I_u]: the UDF
+// name plus the set of sources (columns of the input video or outputs
+// of other UDFs) it reads (§3.1 step ②). EVA reuses results across
+// UDF occurrences with identical signatures.
+type Signature struct {
+	Name   string
+	Inputs []string
+}
+
+// NewSignature builds a signature from a UDF name and the argument
+// expressions of one of its invocations. Argument columns are
+// normalized (lower-cased, sorted) so that syntactic argument order
+// does not split signatures.
+func NewSignature(name string, args []expr.Expr) Signature {
+	inputSet := map[string]struct{}{}
+	for _, a := range args {
+		for _, c := range expr.CollectColumns(a) {
+			inputSet[strings.ToLower(c)] = struct{}{}
+		}
+		for _, call := range expr.CollectCalls(a) {
+			inputSet[strings.ToLower(call.Fn)] = struct{}{}
+		}
+	}
+	inputs := make([]string, 0, len(inputSet))
+	for c := range inputSet {
+		inputs = append(inputs, c)
+	}
+	for i := 1; i < len(inputs); i++ {
+		for j := i; j > 0 && inputs[j] < inputs[j-1]; j-- {
+			inputs[j], inputs[j-1] = inputs[j-1], inputs[j]
+		}
+	}
+	return Signature{Name: strings.ToLower(name), Inputs: inputs}
+}
+
+// Key returns the canonical string form used as a map key and as the
+// materialized view name.
+func (s Signature) Key() string {
+	return s.Name + "[" + strings.Join(s.Inputs, ",") + "]"
+}
+
+// String implements fmt.Stringer.
+func (s Signature) String() string { return s.Key() }
+
+// KeyColumns maps the signature's inputs to the view key columns that
+// identify one invocation: the frame payload column is identified by
+// the frame id, every other input column keys as itself. A detector
+// invoked as f(frame) keys by [id]; CarType(frame, bbox) keys by
+// [id, bbox].
+func (s Signature) KeyColumns() []string {
+	out := make([]string, 0, len(s.Inputs))
+	seen := map[string]struct{}{}
+	for _, in := range s.Inputs {
+		col := in
+		if col == "frame" {
+			col = "id"
+		}
+		if _, dup := seen[col]; dup {
+			continue
+		}
+		seen[col] = struct{}{}
+		out = append(out, col)
+	}
+	if len(out) == 0 {
+		return []string{"id"}
+	}
+	return out
+}
+
+// ViewName returns the storage name of the signature's view.
+func (s Signature) ViewName() string {
+	return fmt.Sprintf("udf_%s", strings.NewReplacer("[", "_", "]", "", ",", "_").Replace(s.Key()))
+}

@@ -1,0 +1,153 @@
+package vbench
+
+import (
+	"fmt"
+	"time"
+
+	"eva"
+	"eva/internal/simclock"
+	"eva/internal/udf"
+)
+
+// QueryMetrics captures one query's execution under a system.
+type QueryMetrics struct {
+	Label     string
+	Rows      int
+	Sim       time.Duration
+	Wall      time.Duration
+	Breakdown eva.Breakdown
+	// Order is the scalar-UDF evaluation order the optimizer chose.
+	Order []string
+	// Preds carries the symbolic analysis (Fig. 7's atom counts).
+	Preds map[string]eva.PredInfo
+	// ViewRows snapshots per-view materialized rows after the query
+	// (Fig. 8(b) convergence).
+	ViewRows map[string]int
+}
+
+// RunMetrics captures a whole workload run.
+type RunMetrics struct {
+	System    eva.SystemMode
+	Workload  string
+	Queries   []QueryMetrics
+	SimTotal  time.Duration
+	WallTotal time.Duration
+	// HitPct is Table 2's hit percentage.
+	HitPct float64
+	// UDFStats holds per-UDF #DI/#TI/reuse counters (Table 3).
+	UDFStats map[string]udf.Stats
+	// ViewBytes is the on-disk footprint of materialized views and
+	// VideoVirtualBytes the simulated dataset size (§5.2).
+	ViewBytes         int64
+	VideoVirtualBytes int64
+}
+
+// Speedup returns base's simulated time divided by m's — the workload
+// speedup metric of Fig. 5.
+func (m *RunMetrics) Speedup(base *RunMetrics) float64 {
+	if m.SimTotal <= 0 {
+		return 0
+	}
+	return base.SimTotal.Seconds() / m.SimTotal.Seconds()
+}
+
+// Options tunes a workload run.
+type Options struct {
+	// BatchSize overrides the scan batch size.
+	BatchSize int
+	// CanonicalRanking forces the Eq. 2 ranking (Fig. 9 baseline).
+	CanonicalRanking bool
+	// MinCostLogical forces Min-Cost logical binding (Fig. 10 baseline).
+	MinCostLogical bool
+	// DisableReduction disables Algorithm 1 (ablation).
+	DisableReduction bool
+	// Dir persists storage to the given directory instead of a
+	// temporary one.
+	Dir string
+}
+
+// RunWorkload executes the workload from a clean state under the given
+// system mode and returns its metrics.
+func RunWorkload(mode eva.SystemMode, w Workload, opts Options) (*RunMetrics, error) {
+	sys, err := eva.Open(eva.Config{
+		Dir:              opts.Dir,
+		Mode:             mode,
+		BatchSize:        opts.BatchSize,
+		CanonicalRanking: opts.CanonicalRanking,
+		MinCostLogical:   opts.MinCostLogical,
+		DisableReduction: opts.DisableReduction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	if err := sys.LoadDataset("video", w.Dataset); err != nil {
+		return nil, err
+	}
+
+	out := &RunMetrics{System: mode, Workload: w.Name}
+	for _, q := range w.Queries {
+		res, err := sys.Exec(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("vbench: %s %s: %w", w.Name, q.Label, err)
+		}
+		qm := QueryMetrics{
+			Label:     q.Label,
+			Rows:      res.Rows.Len(),
+			Sim:       res.SimTime,
+			Wall:      res.WallTime,
+			Breakdown: res.Breakdown,
+			Order:     append(res.Report.PreOrder, res.Report.Order...),
+			Preds:     res.Report.Preds,
+			ViewRows:  sys.ViewRows(),
+		}
+		out.Queries = append(out.Queries, qm)
+		out.SimTotal += res.SimTime
+		out.WallTotal += res.WallTime
+	}
+	out.HitPct = sys.HitPercentage()
+	out.UDFStats = sys.UDFCounters()
+	out.ViewBytes = sys.ViewFootprint()
+	if vb, err := sys.DatasetVirtualBytes("video"); err == nil {
+		out.VideoVirtualBytes = vb
+	}
+	return out, nil
+}
+
+// SpeedupBound computes Eq. 7's upper bound on workload speedup from
+// no-reuse UDF demand statistics: ΣC_u over all invocations divided by
+// ΣC_u over distinct invocations (ignoring the reuse-cost term).
+func SpeedupBound(stats map[string]udf.Stats, costOf func(string) time.Duration) float64 {
+	var all, distinct float64
+	for name, st := range stats {
+		c := costOf(name).Seconds()
+		all += c * float64(st.Total)
+		distinct += c * float64(st.Distinct)
+	}
+	if distinct == 0 {
+		return 1
+	}
+	return all / distinct
+}
+
+// HitBreakdownRow is one Table 2 row.
+type HitBreakdownRow struct {
+	Workload string
+	System   eva.SystemMode
+	HitPct   float64
+}
+
+// Systems lists the comparison systems in the paper's presentation
+// order (No-Reuse first).
+func Systems() []eva.SystemMode {
+	return []eva.SystemMode{eva.ModeNoReuse, eva.ModeHashStash, eva.ModeFunCache, eva.ModeEVA}
+}
+
+// CategoryBreakdown aggregates one category across a run's queries.
+func (m *RunMetrics) CategoryBreakdown(cat simclock.Category) time.Duration {
+	var total time.Duration
+	for _, q := range m.Queries {
+		total += q.Breakdown.Get(cat)
+	}
+	return total
+}

@@ -1,0 +1,119 @@
+package vision
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Frame payload codec. A payload is the "rendered image" models decode:
+// a compact, versioned binary encoding of the frame's ground truth plus
+// deterministic clutter bytes. Real frames would be megabytes of
+// pixels; the payload carries the same information a perfect detector
+// could extract, while the storage engine accounts the virtual RGB24
+// size separately (see Dataset.VirtualFrameBytes).
+
+const (
+	payloadMagic   = 0x45564146 // "EVAF"
+	payloadVersion = 1
+	clutterBytes   = 24
+)
+
+// EncodeFrame renders the frame's ground truth into a payload.
+func (d Dataset) EncodeFrame(frame int64) []byte {
+	objs := d.Objects(frame)
+	buf := make([]byte, 0, 24+len(objs)*32+clutterBytes)
+	buf = binary.LittleEndian.AppendUint32(buf, payloadMagic)
+	buf = append(buf, payloadVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(frame))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(d.Width))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(d.Height))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(objs)))
+	for _, o := range objs {
+		buf = append(buf, byte(indexOf(Labels, o.Label)))
+		buf = append(buf, byte(indexOf(VehicleTypes, o.VType)))
+		buf = append(buf, byte(indexOf(Colors, o.Color)))
+		buf = append(buf, byte(len(o.Plate)))
+		buf = append(buf, o.Plate...)
+		for _, v := range []float64{o.X, o.Y, o.W, o.H} {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(v)))
+		}
+	}
+	// Clutter: deterministic noise standing in for pixel texture, so
+	// payload hashing (FunCache) sees realistic per-frame variety.
+	h := mix(d.Seed, uint64(frame), 0xC1077E5)
+	for i := 0; i < clutterBytes; i++ {
+		buf = append(buf, byte(h>>(uint(i%8)*8)))
+		if i%8 == 7 {
+			h = mix(h)
+		}
+	}
+	return buf
+}
+
+// DecodedFrame is the result of decoding a payload.
+type DecodedFrame struct {
+	Frame   int64
+	Width   int
+	Height  int
+	Objects []Object
+}
+
+// DecodeFrame parses a payload produced by EncodeFrame.
+func DecodeFrame(payload []byte) (DecodedFrame, error) {
+	var df DecodedFrame
+	if len(payload) < 19 {
+		return df, fmt.Errorf("vision: short payload (%d bytes)", len(payload))
+	}
+	if binary.LittleEndian.Uint32(payload) != payloadMagic {
+		return df, fmt.Errorf("vision: bad payload magic")
+	}
+	if payload[4] != payloadVersion {
+		return df, fmt.Errorf("vision: unsupported payload version %d", payload[4])
+	}
+	df.Frame = int64(binary.LittleEndian.Uint64(payload[5:]))
+	df.Width = int(binary.LittleEndian.Uint16(payload[13:]))
+	df.Height = int(binary.LittleEndian.Uint16(payload[15:]))
+	n := int(binary.LittleEndian.Uint16(payload[17:]))
+	off := 19
+	df.Objects = make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(payload) {
+			return df, fmt.Errorf("vision: truncated object header at %d", off)
+		}
+		labelIdx, typeIdx, colorIdx := int(payload[off]), int(payload[off+1]), int(payload[off+2])
+		plateLen := int(payload[off+3])
+		off += 4
+		if off+plateLen+16 > len(payload) {
+			return df, fmt.Errorf("vision: truncated object body at %d", off)
+		}
+		if labelIdx >= len(Labels) || typeIdx >= len(VehicleTypes) || colorIdx >= len(Colors) {
+			return df, fmt.Errorf("vision: corrupt object indices at %d", off)
+		}
+		plate := string(payload[off : off+plateLen])
+		off += plateLen
+		var coords [4]float64
+		for j := range coords {
+			coords[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[off:])))
+			off += 4
+		}
+		df.Objects = append(df.Objects, Object{
+			ID:    i,
+			Label: Labels[labelIdx],
+			VType: VehicleTypes[typeIdx],
+			Color: Colors[colorIdx],
+			Plate: plate,
+			X:     coords[0], Y: coords[1], W: coords[2], H: coords[3],
+		})
+	}
+	return df, nil
+}
+
+func indexOf(vals []string, v string) int {
+	for i, s := range vals {
+		if s == v {
+			return i
+		}
+	}
+	return 0
+}

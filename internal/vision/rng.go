@@ -1,0 +1,64 @@
+// Package vision is the substrate standing in for the paper's video
+// datasets and PyTorch vision models. A deterministic synthetic world
+// assigns vehicles (bounding box, label, vehicle type, color, license
+// plate) to every frame; frames are "rendered" into compact binary
+// payloads; and model implementations decode those payloads with
+// model-specific recall and classification noise, at the paper's
+// profiled per-tuple costs.
+//
+// Determinism is load-bearing: the reuse algorithm assumes a UDF is a
+// pure function of its inputs, so every model output is a deterministic
+// function of (model, dataset seed, frame, object).
+package vision
+
+import "math"
+
+// mix folds the given words into a single well-distributed 64-bit value
+// using the splitmix64 finalizer. It is the source of all randomness in
+// the synthetic world.
+func mix(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h += 0x9E3779B97F4A7C15
+		h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+		h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
+// unit maps a hash to a float64 in [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// pick selects an index from a categorical distribution given a uniform
+// sample u in [0, 1). weights need not sum exactly to 1; the final
+// bucket absorbs rounding.
+func pick(u float64, weights []float64) int {
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// skewedArea maps a uniform sample to a bounding-box area in
+// [minArea, maxArea], skewed toward small boxes (u² law), matching the
+// small-vehicle-dominated distribution of traffic camera footage.
+func skewedArea(u, minArea, maxArea float64) float64 {
+	return minArea + (maxArea-minArea)*u*u
+}
+
+// splitAspect splits an area into width × height with an aspect ratio
+// in [0.6, 1.8] chosen by the second sample.
+func splitAspect(area, u float64) (w, h float64) {
+	aspect := 0.6 + 1.2*u
+	w = math.Sqrt(area * aspect)
+	h = area / w
+	return w, h
+}

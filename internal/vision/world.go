@@ -1,0 +1,186 @@
+package vision
+
+import (
+	"fmt"
+	"math"
+)
+
+// Object is one ground-truth entity in a frame. Coordinates are
+// normalized to [0, 1] relative to the frame; Area is W×H (i.e. area
+// relative to the frame size, the quantity Listing 1's AREA(bbox)
+// predicate compares against).
+type Object struct {
+	ID    int // index within the frame
+	Label string
+	X, Y  float64
+	W, H  float64
+	VType string
+	Color string
+	Plate string
+}
+
+// Area returns the relative bounding-box area.
+func (o Object) Area() float64 { return o.W * o.H }
+
+// Ground-truth categorical domains with their sampling weights. The
+// catalog exposes these as UDF-output statistics for selectivity
+// estimation, mirroring how the paper profiles model output
+// distributions.
+var (
+	Labels       = []string{"car", "bus", "truck"}
+	LabelWeights = []float64{0.85, 0.10, 0.05}
+
+	VehicleTypes = []string{"Nissan", "Toyota", "Ford", "Honda", "BMW"}
+	TypeWeights  = []float64{0.25, 0.22, 0.20, 0.18, 0.15}
+
+	Colors       = []string{"Gray", "Black", "White", "Red", "Blue"}
+	ColorWeights = []float64{0.30, 0.25, 0.20, 0.15, 0.10}
+)
+
+// PlantedPlate is the license plate of the "suspicious vehicle" the
+// motivating example (Listing 1, Q3) searches for; the world plants it
+// on a small fraction of vehicles so plate queries have hits.
+const PlantedPlate = "XYZ60"
+
+// plantedPlateProb is the probability a vehicle carries PlantedPlate.
+const plantedPlateProb = 0.002
+
+// Dataset describes a synthetic video. It substitutes for the paper's
+// UA-DETRAC and JACKSON datasets, matching their published statistics:
+// frame counts, resolution, and mean vehicles per frame.
+type Dataset struct {
+	Name    string
+	Frames  int
+	Width   int
+	Height  int
+	Density float64 // mean objects per frame
+	Seed    uint64
+}
+
+// The evaluation datasets (§5.1).
+var (
+	// ShortUADetrac mirrors SHORT-UA-DETRAC: 5 clips, 7.5k frames.
+	ShortUADetrac = Dataset{Name: "short-ua-detrac", Frames: 7500, Width: 960, Height: 540, Density: 8.3, Seed: 0xDE7AC}
+	// MediumUADetrac mirrors MEDIUM-UA-DETRAC: 10 clips, 14k frames.
+	MediumUADetrac = Dataset{Name: "medium-ua-detrac", Frames: 14000, Width: 960, Height: 540, Density: 8.3, Seed: 0xDE7AC}
+	// LongUADetrac mirrors LONG-UA-DETRAC: 20 clips, 28k frames with a
+	// slightly higher vehicle density, as the paper observes.
+	LongUADetrac = Dataset{Name: "long-ua-detrac", Frames: 28000, Width: 960, Height: 540, Density: 8.9, Seed: 0xDE7AC}
+	// Jackson mirrors JACKSON (night-street): 14k frames, 600×400,
+	// 0.1 vehicles per frame.
+	Jackson = Dataset{Name: "jackson", Frames: 14000, Width: 600, Height: 400, Density: 0.1, Seed: 0x7AC50}
+)
+
+// Datasets lists the built-in datasets by name.
+func Datasets() map[string]Dataset {
+	return map[string]Dataset{
+		ShortUADetrac.Name:  ShortUADetrac,
+		MediumUADetrac.Name: MediumUADetrac,
+		LongUADetrac.Name:   LongUADetrac,
+		Jackson.Name:        Jackson,
+	}
+}
+
+// DatasetByName returns the named built-in dataset.
+func DatasetByName(name string) (Dataset, error) {
+	d, ok := Datasets()[name]
+	if !ok {
+		return Dataset{}, fmt.Errorf("vision: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+// VirtualFrameBytes is the simulated decoded size of one frame
+// (RGB24); the storage engine accounts video footprint with it so the
+// storage-overhead experiment (§5.2) compares against a realistic
+// dataset size rather than the compact payload encoding.
+func (d Dataset) VirtualFrameBytes() int { return d.Width * d.Height * 3 }
+
+// objectCount returns the deterministic number of objects in a frame,
+// drawn from a clamped integer-splitting of the density so the mean
+// over frames approaches Density and objects are near-uniformly spread
+// (the property §5.5 relies on).
+func (d Dataset) objectCount(frame int64) int {
+	h := mix(d.Seed, uint64(frame), 0xC0117)
+	u := unit(h)
+	base := math.Floor(d.Density)
+	frac := d.Density - base
+	n := int(base)
+	if u < frac {
+		n++
+	}
+	// ±25% frame-to-frame variation for densities above 1.
+	if base >= 1 {
+		v := unit(mix(d.Seed, uint64(frame), 0x5A17))
+		n += int(math.Round((v - 0.5) * 0.5 * d.Density))
+		if n < 0 {
+			n = 0
+		}
+	}
+	return n
+}
+
+// Objects returns the ground-truth objects of a frame. The result is a
+// pure function of (dataset, frame).
+func (d Dataset) Objects(frame int64) []Object {
+	n := d.objectCount(frame)
+	out := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		oid := uint64(i)
+		f := uint64(frame)
+		label := Labels[pick(unit(mix(d.Seed, f, oid, 1)), LabelWeights)]
+		area := skewedArea(unit(mix(d.Seed, f, oid, 2)), 0.01, 0.60)
+		w, h := splitAspect(area, unit(mix(d.Seed, f, oid, 3)))
+		if w > 0.95 {
+			w = 0.95
+		}
+		if h > 0.95 {
+			h = 0.95
+		}
+		x := unit(mix(d.Seed, f, oid, 4)) * (1 - w)
+		y := unit(mix(d.Seed, f, oid, 5)) * (1 - h)
+		vt := VehicleTypes[pick(unit(mix(d.Seed, f, oid, 6)), TypeWeights)]
+		color := Colors[pick(unit(mix(d.Seed, f, oid, 7)), ColorWeights)]
+		plate := d.plate(f, oid)
+		out = append(out, Object{
+			ID: i, Label: label, X: x, Y: y, W: w, H: h,
+			VType: vt, Color: color, Plate: plate,
+		})
+	}
+	return out
+}
+
+// plate derives a deterministic license plate, occasionally planting
+// the suspicious vehicle's plate.
+func (d Dataset) plate(frame, oid uint64) string {
+	if unit(mix(d.Seed, frame, oid, 8)) < plantedPlateProb {
+		return PlantedPlate
+	}
+	const letters = "ABCDEFGHJKLMNPRSTUVWXYZ"
+	const digits = "0123456789"
+	h := mix(d.Seed, frame, oid, 9)
+	b := make([]byte, 5)
+	for i := 0; i < 3; i++ {
+		b[i] = letters[h%uint64(len(letters))]
+		h /= uint64(len(letters))
+	}
+	for i := 3; i < 5; i++ {
+		b[i] = digits[h%10]
+		h /= 10
+	}
+	return string(b)
+}
+
+// AvgObjectsPerFrame measures the realized mean density over the first
+// sample frames (all frames when sample ≤ 0); Fig. 12's right axis
+// reports this quantity.
+func (d Dataset) AvgObjectsPerFrame(sample int) float64 {
+	if sample <= 0 || sample > d.Frames {
+		sample = d.Frames
+	}
+	total := 0
+	for f := 0; f < sample; f++ {
+		total += d.objectCount(int64(f))
+	}
+	return float64(total) / float64(sample)
+}

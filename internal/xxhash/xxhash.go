@@ -1,0 +1,95 @@
+// Package xxhash implements the 64-bit xxHash algorithm (XXH64).
+//
+// The FunCache baseline in the paper keys its tuple-level result cache
+// with 128-bit xxHash values of the UDF input arguments; this package is
+// the from-scratch substrate for that baseline (we expose the 64-bit
+// variant twice with independent seeds to form a 128-bit key).
+package xxhash
+
+import "encoding/binary"
+
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+func rol(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = rol(acc, 31)
+	acc *= prime1
+	return acc
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	acc = acc*prime1 + prime4
+	return acc
+}
+
+// Sum64 computes the XXH64 hash of b with the given seed.
+func Sum64(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = rol(v1, 1) + rol(v2, 7) + rol(v3, 12) + rol(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[0:8]))
+		h = rol(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[0:4])) * prime1
+		h = rol(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = rol(h, 11) * prime1
+	}
+
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Key128 is a 128-bit cache key formed from two independently seeded
+// XXH64 passes, mirroring the paper's use of 128-bit xxHash values.
+type Key128 struct {
+	Hi, Lo uint64
+}
+
+// Sum128 computes a 128-bit key for b.
+func Sum128(b []byte) Key128 {
+	return Key128{Hi: Sum64(b, 0), Lo: Sum64(b, 0x9747b28c9747b28c)}
+}

@@ -1,0 +1,93 @@
+package xxhash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors from the canonical xxHash implementation
+// (github.com/Cyan4973/xxHash), seed 0.
+func TestSum64KnownVectors(t *testing.T) {
+	tests := []struct {
+		in   string
+		seed uint64
+		want uint64
+	}{
+		{"", 0, 0xef46db3751d8e999},
+		{"a", 0, 0xd24ec4f1a98c6e5b},
+		{"abc", 0, 0x44bc2cf5ad770999},
+		{"message digest", 0, 0x066ed728fceeb3be},
+		{"abcdefghijklmnopqrstuvwxyz", 0, 0xcfe1f278fa89835c},
+		{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789", 0, 0xaaa46907d3047814},
+		{"12345678901234567890123456789012345678901234567890123456789012345678901234567890", 0, 0xe04a477f19ee145d},
+	}
+	for _, tt := range tests {
+		if got := Sum64([]byte(tt.in), tt.seed); got != tt.want {
+			t.Errorf("Sum64(%q, %d) = %#x, want %#x", tt.in, tt.seed, got, tt.want)
+		}
+	}
+}
+
+func TestSum64SeedChangesHash(t *testing.T) {
+	in := []byte("night-street")
+	if Sum64(in, 0) == Sum64(in, 1) {
+		t.Error("different seeds produced identical hashes")
+	}
+}
+
+func TestSum64Deterministic(t *testing.T) {
+	f := func(b []byte, seed uint64) bool {
+		return Sum64(b, seed) == Sum64(b, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSum64PrefixSensitivity(t *testing.T) {
+	// Flipping any single byte should change the hash (with overwhelming
+	// probability); test across the size regimes (tail, 4-byte, 8-byte,
+	// and 32-byte stripe paths).
+	for _, n := range []int{1, 3, 4, 7, 8, 15, 31, 32, 33, 63, 100} {
+		base := make([]byte, n)
+		for i := range base {
+			base[i] = byte(i * 7)
+		}
+		h0 := Sum64(base, 0)
+		for i := 0; i < n; i++ {
+			mut := make([]byte, n)
+			copy(mut, base)
+			mut[i] ^= 0xff
+			if Sum64(mut, 0) == h0 {
+				t.Errorf("len %d: flipping byte %d did not change hash", n, i)
+			}
+		}
+	}
+}
+
+func TestSum128Components(t *testing.T) {
+	k := Sum128([]byte("abc"))
+	if k.Hi != Sum64([]byte("abc"), 0) {
+		t.Error("Hi half should be seed-0 XXH64")
+	}
+	if k.Hi == k.Lo {
+		t.Error("halves should be independent")
+	}
+	if k != Sum128([]byte("abc")) {
+		t.Error("Sum128 not deterministic")
+	}
+	if k == Sum128([]byte("abd")) {
+		t.Error("Sum128 collision on near inputs")
+	}
+}
+
+func BenchmarkSum64_1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		Sum64(buf, 0)
+	}
+}

@@ -1,0 +1,3 @@
+-- Plain column queries: scan pushdown and filtering.
+LOAD VIDEO 'jackson' INTO video;
+SELECT id, seconds FROM video WHERE id >= 5 AND id < 12;

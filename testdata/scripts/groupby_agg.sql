@@ -1,0 +1,6 @@
+-- Aggregation over detector outputs (the Listing 1 Q4 shape).
+LOAD VIDEO 'medium-ua-detrac' INTO video;
+SELECT id, COUNT(*) AS vehicles, MIN(area) AS smallest, MAX(area) AS largest
+  FROM video CROSS APPLY FasterRCNNResnet50(frame)
+  WHERE id < 8 AND label = 'car'
+  GROUP BY id;

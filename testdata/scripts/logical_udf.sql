@@ -1,0 +1,6 @@
+-- Logical detector binding with accuracy tiers.
+LOAD VIDEO 'medium-ua-detrac' INTO video;
+SELECT id, COUNT(*) AS n FROM video CROSS APPLY ObjectDetector(frame) ACCURACY 'HIGH'
+  WHERE id < 6 GROUP BY id;
+SELECT id, COUNT(*) AS n FROM video CROSS APPLY ObjectDetector(frame) ACCURACY 'LOW'
+  WHERE id < 6 GROUP BY id;

@@ -1,0 +1,9 @@
+-- Refinement flow: the third query is served from materialized views.
+LOAD VIDEO 'medium-ua-detrac' INTO video;
+SELECT id, label FROM video CROSS APPLY FasterRCNNResnet50(frame)
+  WHERE id < 40 AND label = 'car' AND CarType(frame, bbox) = 'Nissan';
+SELECT id, label FROM video CROSS APPLY FasterRCNNResnet50(frame)
+  WHERE id < 40 AND label = 'car' AND CarType(frame, bbox) = 'Nissan'
+  AND ColorDet(frame, bbox) = 'Gray';
+SELECT id, label, ColorDet(frame, bbox) AS color FROM video CROSS APPLY FasterRCNNResnet50(frame)
+  WHERE id < 40 AND label = 'car' AND CarType(frame, bbox) = 'Nissan';
