@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race lint check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the project-specific static-analysis suite (exhaustive
+# switches over sealed types, guarded-by locking, panic-free query
+# path, error discipline). See DESIGN.md "Static analysis & invariants".
+lint:
+	$(GO) run ./cmd/evalint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# check is the full verification gate: formatting, vet, the evalint
+# suite, a clean build, and the test suite under the race detector.
+check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/evalint ./...
+	$(GO) build ./...
+	$(GO) test -race ./...

@@ -1,0 +1,79 @@
+// Command evalint runs eva's project-specific static analyzers over
+// the module: exhaustive-switch, guarded-by, no-panic, and
+// error-discipline (see internal/lint). It is stdlib-only — packages
+// are loaded with go/parser and go/types directly.
+//
+// Usage:
+//
+//	evalint                # analyze the whole module (./...)
+//	evalint ./...          # same
+//	evalint internal/exec  # analyze one package directory
+//	evalint internal/lint/testdata/src/nopanic/...   # fixture subtree
+//
+// Diagnostics print as file:line:col: analyzer: message, and the exit
+// status is non-zero when any are found.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"eva/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "evalint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Patterns are given relative to the working directory; the loader
+	// resolves them relative to the module root.
+	for i, p := range patterns {
+		if p == "./..." || p == "..." {
+			continue
+		}
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil {
+			return err
+		}
+		patterns[i] = filepath.ToSlash(rel)
+	}
+
+	u, targets, err := lint.Load(root, patterns)
+	if err != nil {
+		return err
+	}
+	diags := lint.Run(u, targets, lint.DefaultAnalyzers(u.ModulePath))
+	for _, d := range diags {
+		fmt.Println(relDiag(root, d))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// relDiag shortens absolute fixture paths to module-relative ones for
+// readable output.
+func relDiag(root string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

@@ -50,8 +50,12 @@ func main() {
 		return
 	}
 
-	stat, _ := os.Stdin.Stat()
-	interactive := (stat.Mode() & os.ModeCharDevice) != 0
+	// When Stat fails we cannot tell a terminal from a pipe; default to
+	// non-interactive so scripted input still executes cleanly.
+	interactive := false
+	if stat, err := os.Stdin.Stat(); err == nil {
+		interactive = (stat.Mode() & os.ModeCharDevice) != 0
+	}
 	if interactive {
 		fmt.Println("EVA-QL shell — reproducing EVA (SIGMOD 2022). \\q quits, \\plan toggles plans, \\stats shows reuse counters.")
 		fmt.Printf("mode: %s   datasets: %s\n", *mode, strings.Join(sortedDatasets(), ", "))

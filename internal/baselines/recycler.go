@@ -30,9 +30,9 @@ type span struct {
 // to the frame ranges their materialized outputs cover.
 type Recycler struct {
 	mu     sync.Mutex
-	ranges map[string][]span
+	ranges map[string][]span // guarded by mu
 	// match accounting for introspection and tests
-	hits, misses int
+	hits, misses int // guarded by mu
 }
 
 // NewRecycler returns an empty recycler graph.

@@ -6,6 +6,7 @@ package catalog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -82,8 +83,8 @@ func (u *UDF) OutputColumn() string {
 // Catalog is the metadata store. It is safe for concurrent use.
 type Catalog struct {
 	mu     sync.RWMutex
-	tables map[string]*Table
-	udfs   map[string]*UDF
+	tables map[string]*Table // guarded by mu
+	udfs   map[string]*UDF   // guarded by mu
 }
 
 // New returns a catalog pre-populated with the built-in model zoo
@@ -174,7 +175,10 @@ func (c *Catalog) HasUDF(name string) bool {
 }
 
 // UDFsForLogical returns every UDF implementing the logical type with
-// accuracy ≥ min, ascending by cost.
+// accuracy ≥ min, ascending by cost with name as tiebreaker. The
+// tiebreaker matters: candidates come out of a map, and equal-cost
+// UDFs in map order would leak iteration nondeterminism into plan
+// choice (and therefore into simulated time).
 func (c *Catalog) UDFsForLogical(logical string, min vision.AccuracyLevel) []*UDF {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -184,8 +188,14 @@ func (c *Catalog) UDFsForLogical(logical string, min vision.AccuracyLevel) []*UD
 			out = append(out, u)
 		}
 	}
+	less := func(a, b *UDF) bool {
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return a.Name < b.Name
+	}
 	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Cost < out[j-1].Cost; j-- {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
@@ -218,7 +228,7 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// Tables returns all registered table names.
+// Tables returns all registered table names, sorted.
 func (c *Catalog) Tables() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -226,5 +236,6 @@ func (c *Catalog) Tables() []string {
 	for n := range c.tables {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -81,8 +81,8 @@ func (h *Histogram) Fraction(ivs symbolic.IntervalSet) float64 {
 // argument spelling.
 type Stats struct {
 	mu    sync.RWMutex
-	num   map[string]*Histogram
-	cat   map[string]map[string]float64
+	num   map[string]*Histogram         // guarded by mu
+	cat   map[string]map[string]float64 // guarded by mu
 	fall  symbolic.UniformStats
 	total float64
 }

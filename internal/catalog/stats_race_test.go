@@ -1,0 +1,58 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"eva/internal/symbolic"
+)
+
+// TestStatsConcurrentUpdateAndSelect runs concurrent statistics
+// refreshes (SetNumeric/SetCategorical, as a background stats
+// collector would issue) against selectivity lookups from planning
+// threads. The copy-on-read discipline — setters replace whole
+// histogram/frequency values under the write lock, selectors fetch
+// the reference under the read lock and then work on the immutable
+// snapshot — must keep -race quiet.
+func TestStatsConcurrentUpdateAndSelect(t *testing.T) {
+	s := NewStats(symbolic.UniformStats{Lo: 0, Hi: 1000, DomainSize: 20})
+	ivs := symbolic.NewIntervalSet(symbolic.Interval{Lo: 0, Hi: 500})
+	cat := symbolic.NewCatSet("car", "truck")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				samples := make([]float64, 64)
+				for j := range samples {
+					samples[j] = float64((w*300 + i + j) % 1000)
+				}
+				s.SetNumeric("id", NewHistogram(0, 1000, 16, samples))
+				s.SetCategorical("label", map[string]float64{
+					"car":    0.5,
+					"truck":  0.3,
+					"person": 0.2,
+				})
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if sel := s.SelNumeric("id", ivs); sel < 0 || sel > 1 {
+					t.Errorf("SelNumeric out of range: %v", sel)
+					return
+				}
+				if sel := s.SelCategorical("label", cat); sel < 0 || sel > 1 {
+					t.Errorf("SelCategorical out of range: %v", sel)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -39,4 +39,16 @@ const (
 	// RowCost is the per-row overhead of cheap operators (filters,
 	// projections, joins) — Table 4's "Other".
 	RowCost = 2 * time.Microsecond
+
+	// OptimizeBaseCost is the fixed simulated cost of one optimizer
+	// pass (parse bookkeeping, catalog lookups). The virtual clock
+	// must never be charged measured wall time — that would make
+	// simulated results machine- and run-dependent — so optimization
+	// overhead (Fig. 6(b)) is modeled, not measured.
+	OptimizeBaseCost = 100 * time.Microsecond
+
+	// OptimizeAtomCost is the per-atom cost of the symbolic analysis
+	// (INTER/DIFF/UNION construction and reduction); the paper reports
+	// sub-second optimization for predicates of hundreds of atoms.
+	OptimizeAtomCost = 10 * time.Microsecond
 )

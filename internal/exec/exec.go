@@ -58,7 +58,7 @@ func Run(ctx *Context, n plan.Node) (*types.Batch, error) {
 			return out, nil
 		}
 		if err := out.AppendBatch(b); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exec: collect results: %w", err)
 		}
 	}
 }
@@ -161,7 +161,7 @@ type scanIter struct {
 func newScanIter(ctx *Context, node *plan.Scan) (*scanIter, error) {
 	v, err := ctx.Store.Video(node.Table)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exec: scan: %w", err)
 	}
 	hi := node.Hi
 	if hi < 0 || hi > v.NumFrames() {
@@ -184,7 +184,7 @@ func (s *scanIter) next() (*types.Batch, error) {
 	}
 	b, err := s.video.Scan(s.pos, end)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exec: scan %s: %w", s.video.Name(), err)
 	}
 	s.pos = end
 	s.ctx.Clock.ChargePerTuple(simclock.CatReadVideo, costs.ReadVideoCost, b.Len())
@@ -259,7 +259,7 @@ func newApplyIter(ctx *Context, node *plan.ReuseApply, in iterator) (*applyIter,
 			// create it so results land somewhere consistent.
 			created, err := ctx.Store.CreateView(src.ViewName, a.viewSchema(inSchema), node.KeyCols)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exec: source view %s: %w", src.ViewName, err)
 			}
 			v = created
 		}
@@ -268,7 +268,7 @@ func newApplyIter(ctx *Context, node *plan.ReuseApply, in iterator) (*applyIter,
 	if node.StoreView != "" {
 		v, err := ctx.Store.CreateView(node.StoreView, a.viewSchema(inSchema), node.KeyCols)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exec: store view %s: %w", node.StoreView, err)
 		}
 		a.store = v
 	}
@@ -372,7 +372,7 @@ func (a *applyIter) next() (*types.Batch, error) {
 			}
 			rows, err := a.ctx.Runtime.EvalDetector(a.node.Eval, args[0].Bytes())
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exec: detector %s: %w", a.node.Eval, err)
 			}
 			for dr := 0; dr < rows.Len(); dr++ {
 				row := append(b.Row(r), rows.Row(dr)...)
@@ -384,7 +384,7 @@ func (a *applyIter) next() (*types.Batch, error) {
 		} else {
 			v, err := a.ctx.Runtime.EvalScalar(a.node.Eval, args)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exec: udf %s: %w", a.node.Eval, err)
 			}
 			out.MustAppendRow(append(b.Row(r), v)...)
 			single := types.NewBatch(a.node.Out)
@@ -417,7 +417,7 @@ func (a *applyIter) buffer(key []types.Datum, outs *types.Batch) error {
 		for r := 0; r < outs.Len(); r++ {
 			row := append(append([]types.Datum(nil), keyCopy...), outs.Row(r)...)
 			if err := a.pendingRows.AppendRow(row...); err != nil {
-				return err
+				return fmt.Errorf("exec: buffer view rows: %w", err)
 			}
 		}
 	}
@@ -442,7 +442,7 @@ func (a *applyIter) flush() error {
 	}
 	n, err := a.store.Append(rows, keys)
 	if err != nil {
-		return err
+		return fmt.Errorf("exec: materialize view %s: %w", a.store.Name(), err)
 	}
 	a.ctx.Clock.ChargePerTuple(simclock.CatMaterialize, costs.MatRowCost, n+len(keys))
 	return nil

@@ -36,7 +36,7 @@ func (s *sortIter) next() (*types.Batch, error) {
 			break
 		}
 		if err := all.AppendBatch(b); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("exec: sort: %w", err)
 		}
 	}
 	s.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, all.Len())

@@ -23,7 +23,7 @@ type OperatorStat struct {
 // Attach a fresh Trace to Context.Trace before Run.
 type Trace struct {
 	mu    sync.Mutex
-	stats []*OperatorStat
+	stats []*OperatorStat // guarded by mu
 }
 
 // NewTrace returns an empty trace.

@@ -11,6 +11,12 @@ import (
 )
 
 // Expr is a node in an expression tree.
+//
+// The implementations form a sealed set (Column, Const, Cmp, Logic,
+// Not, IsNull, Arith, Call, Star); switches over Expr must handle
+// every variant.
+//
+// lint:exhaustive
 type Expr interface {
 	// String renders the expression canonically. Two structurally equal
 	// expressions render identically; the symbolic engine uses this
@@ -21,6 +27,8 @@ type Expr interface {
 }
 
 // CmpOp is a comparison operator.
+//
+// lint:exhaustive
 type CmpOp int
 
 // Comparison operators supported by the EVA-QL predicate grammar.
@@ -53,28 +61,33 @@ func (op CmpOp) String() string {
 	}
 }
 
-// Negate returns the complementary operator (e.g. < becomes >=).
-func (op CmpOp) Negate() CmpOp {
+// Negate returns the complementary operator (e.g. < becomes >=). An
+// out-of-range operator — only producible by arithmetic on the enum —
+// is reported as an error so query-path callers surface a planning
+// failure instead of panicking.
+func (op CmpOp) Negate() (CmpOp, error) {
 	switch op {
 	case OpEq:
-		return OpNe
+		return OpNe, nil
 	case OpNe:
-		return OpEq
+		return OpEq, nil
 	case OpLt:
-		return OpGe
+		return OpGe, nil
 	case OpLe:
-		return OpGt
+		return OpGt, nil
 	case OpGt:
-		return OpLe
+		return OpLe, nil
 	case OpGe:
-		return OpLt
+		return OpLt, nil
 	}
-	panic("expr: negate of unknown operator")
+	return op, fmt.Errorf("expr: negate of unknown operator CmpOp(%d)", int(op))
 }
 
 // Flip returns the operator with swapped operands (a < b ⇔ b > a).
 func (op CmpOp) Flip() CmpOp {
 	switch op {
+	case OpEq, OpNe:
+		return op
 	case OpLt:
 		return OpGt
 	case OpLe:
@@ -125,6 +138,8 @@ func (c *Cmp) String() string {
 func (c *Cmp) Children() []Expr { return []Expr{c.L, c.R} }
 
 // LogicOp is a boolean connective.
+//
+// lint:exhaustive
 type LogicOp int
 
 // Boolean connectives.
@@ -182,6 +197,8 @@ func (n *IsNull) String() string   { return fmt.Sprintf("%s IS NULL", n.E.String
 func (n *IsNull) Children() []Expr { return []Expr{n.E} }
 
 // ArithOp is an arithmetic operator.
+//
+// lint:exhaustive
 type ArithOp int
 
 // Arithmetic operators.
@@ -354,6 +371,7 @@ func Rewrite(e Expr, f func(Expr) Expr) Expr {
 			args[i] = Rewrite(a, f)
 		}
 		e = &Call{Fn: n.Fn, Args: args, Accuracy: n.Accuracy}
+	default: // lint:nonexhaustive leaf nodes (Column, Const, Star) have no children to rewrite
 	}
 	return f(e)
 }

@@ -21,9 +21,16 @@ func TestCanonicalString(t *testing.T) {
 func TestCmpOpHelpers(t *testing.T) {
 	negs := map[CmpOp]CmpOp{OpEq: OpNe, OpNe: OpEq, OpLt: OpGe, OpLe: OpGt, OpGt: OpLe, OpGe: OpLt}
 	for op, want := range negs {
-		if got := op.Negate(); got != want {
+		got, err := op.Negate()
+		if err != nil {
+			t.Fatalf("%v.Negate(): %v", op, err)
+		}
+		if got != want {
 			t.Errorf("%v.Negate() = %v, want %v", op, got, want)
 		}
+	}
+	if _, err := CmpOp(99).Negate(); err == nil {
+		t.Error("CmpOp(99).Negate() succeeded, want error")
 	}
 	flips := map[CmpOp]CmpOp{OpLt: OpGt, OpLe: OpGe, OpGt: OpLt, OpGe: OpLe, OpEq: OpEq, OpNe: OpNe}
 	for op, want := range flips {

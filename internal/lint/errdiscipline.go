@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDiscipline enforces two error-handling rules in the optimizer
+// and executor layers:
+//
+//  1. no discarded errors: assigning an error-typed value to the
+//     blank identifier hides failures;
+//  2. no naked re-returns of foreign errors: "return err" where err
+//     most recently came from a call into a different package must
+//     wrap the error (fmt.Errorf("...: %w", err)) so the failure
+//     carries the layer's context. Errors from same-package calls may
+//     propagate bare (the frame that produced them already attached
+//     context), and fmt/errors constructors count as wrapping.
+//
+// "// lint:noerrcheck <why>" on or above the statement suppresses
+// either rule.
+type ErrDiscipline struct {
+	scopes []string
+}
+
+// NewErrDiscipline builds the analyzer restricted to the given
+// import-path specs (see MatchPath).
+func NewErrDiscipline(scopes ...string) *ErrDiscipline { return &ErrDiscipline{scopes: scopes} }
+
+// Name implements Analyzer.
+func (a *ErrDiscipline) Name() string { return "error-discipline" }
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// Check implements Analyzer.
+func (a *ErrDiscipline) Check(u *Universe, pkg *Package) []Diagnostic {
+	if !matchAny(a.scopes, pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		for _, b := range bodies {
+			diags = append(diags, a.checkBody(u, pkg, b)...)
+		}
+	}
+	return diags
+}
+
+// inspectShallow walks body without descending into nested function
+// literals (each literal is analyzed as its own scope).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// assignRec records one assignment to an error variable: where it
+// happened and whether the value came from a call into a foreign
+// (non-wrapping) package.
+type assignRec struct {
+	pos     token.Pos
+	foreign bool
+	callee  string
+}
+
+func (a *ErrDiscipline) checkBody(u *Universe, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+
+	assigns := map[types.Object][]assignRec{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		rec := assignRec{pos: id.Pos()}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg() != pkg.Types {
+				switch fn.Pkg().Path() {
+				case "fmt", "errors":
+					// Wrapping/origination constructors attach context.
+				default:
+					rec.foreign = true
+					rec.callee = fn.Pkg().Name() + "." + fn.Name()
+				}
+			}
+		}
+		assigns[obj] = append(assigns[obj], rec)
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			diags = append(diags, a.checkDiscards(u, pkg, st)...)
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if len(st.Rhs) == len(st.Lhs) {
+					record(id, st.Rhs[i])
+				} else if len(st.Rhs) == 1 {
+					record(id, st.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				if len(st.Values) == len(st.Names) {
+					record(id, st.Values[i])
+				} else if len(st.Values) == 1 {
+					record(id, st.Values[0])
+				}
+			}
+		}
+		return true
+	})
+
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			id, ok := ast.Unparen(res).(*ast.Ident)
+			if !ok || id.Name == "nil" {
+				continue
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || !types.Identical(obj.Type(), errorType) {
+				continue
+			}
+			var last *assignRec
+			for i := range assigns[obj] {
+				rec := &assigns[obj][i]
+				if rec.pos < ret.Pos() && (last == nil || rec.pos > last.pos) {
+					last = rec
+				}
+			}
+			if last == nil || !last.foreign {
+				continue
+			}
+			if u.Suppressed(pkg, ret.Pos(), "lint:noerrcheck") {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      u.Fset.Position(ret.Pos()),
+				Analyzer: a.Name(),
+				Message: fmt.Sprintf("error from %s returned without wrapping; add context with fmt.Errorf(\"...: %%w\", err) or annotate // lint:noerrcheck <why>",
+					last.callee),
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// checkDiscards flags error-typed values assigned to the blank
+// identifier.
+func (a *ErrDiscipline) checkDiscards(u *Universe, pkg *Package, st *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		if len(st.Rhs) == len(st.Lhs) {
+			t = pkg.Info.Types[st.Rhs[i]].Type
+		} else if len(st.Rhs) == 1 {
+			if tuple, ok := pkg.Info.Types[st.Rhs[0]].Type.(*types.Tuple); ok && i < tuple.Len() {
+				t = tuple.At(i).Type()
+			}
+		}
+		if t == nil || !types.Identical(t, errorType) {
+			continue
+		}
+		if u.Suppressed(pkg, id.Pos(), "lint:noerrcheck") {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      u.Fset.Position(id.Pos()),
+			Analyzer: a.Name(),
+			Message:  "error discarded with blank identifier; handle it or annotate // lint:noerrcheck <why>",
+		})
+	}
+	return diags
+}
+
+// calleeFunc resolves the static callee of a call, or nil when the
+// callee is dynamic (a closure variable) or not a function (a
+// conversion, a builtin).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveSwitch checks that every switch over a sealed type — a
+// type whose doc comment carries "lint:exhaustive" — covers all of
+// its variants. For interfaces the variants are the concrete module
+// types implementing it; for operator enums they are the constants of
+// the type declared in its defining package (exported constants only
+// when the type itself is exported, so unexported sentinels like
+// array-length markers don't count as variants).
+//
+// A switch missing variants passes only when its default clause is
+// annotated "// lint:nonexhaustive <why>". A switch that covers every
+// variant may keep an unannotated default as a safety net.
+type ExhaustiveSwitch struct{}
+
+// Name implements Analyzer.
+func (a *ExhaustiveSwitch) Name() string { return "exhaustive-switch" }
+
+const nonexhaustiveHint = "add the missing cases or annotate the default clause with // lint:nonexhaustive <why>"
+
+type sealedType struct {
+	obj   *types.TypeName
+	iface bool
+	// ifaceVariants maps each concrete implementation to its display
+	// name ("*Scan" when only the pointer type implements).
+	ifaceVariants map[*types.TypeName]string
+	// enumVariants maps a constant's exact value to its display name,
+	// deduplicating aliased constants.
+	enumVariants map[string]string
+}
+
+func (u *Universe) sealed() map[*types.TypeName]*sealedType {
+	if u.sealedOnce {
+		return u.sealedTypes
+	}
+	u.sealedOnce = true
+	u.sealedTypes = map[*types.TypeName]*sealedType{}
+	for _, p := range u.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !hasExhaustiveMarker(gd, ts) {
+						continue
+					}
+					obj, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+					if obj == nil {
+						continue
+					}
+					u.sealedTypes[obj] = &sealedType{obj: obj, iface: types.IsInterface(obj.Type())}
+				}
+			}
+		}
+	}
+	for _, st := range u.sealedTypes {
+		if st.iface {
+			u.collectImplementers(st)
+		} else {
+			collectConstants(st)
+		}
+	}
+	return u.sealedTypes
+}
+
+func hasExhaustiveMarker(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if cg != nil && strings.Contains(cg.Text(), "lint:exhaustive") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectImplementers finds every concrete module type (by value or
+// pointer receiver) implementing the sealed interface.
+func (u *Universe) collectImplementers(st *sealedType) {
+	iface, ok := st.obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	st.ifaceVariants = map[*types.TypeName]string{}
+	for _, p := range u.Packages {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || tn == st.obj {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			display := tn.Name()
+			switch {
+			case types.Implements(t, iface):
+			case types.Implements(types.NewPointer(t), iface):
+				display = "*" + display
+			default:
+				continue
+			}
+			if tn.Pkg() != st.obj.Pkg() {
+				display = strings.TrimPrefix(display, "*")
+				display = tn.Pkg().Name() + "." + display
+			}
+			st.ifaceVariants[tn] = display
+		}
+	}
+}
+
+// collectConstants finds the enum's variant constants in its defining
+// package, keyed by value so aliases collapse to one variant.
+func collectConstants(st *sealedType) {
+	st.enumVariants = map[string]string{}
+	scope := st.obj.Pkg().Scope()
+	exportedOnly := st.obj.Exported()
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(cn.Type(), st.obj.Type()) {
+			continue
+		}
+		if exportedOnly && !cn.Exported() {
+			continue
+		}
+		key := cn.Val().ExactString()
+		if _, dup := st.enumVariants[key]; !dup {
+			st.enumVariants[key] = cn.Name()
+		}
+	}
+}
+
+// Check implements Analyzer.
+func (a *ExhaustiveSwitch) Check(u *Universe, pkg *Package) []Diagnostic {
+	sealed := u.sealed()
+	if len(sealed) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch sw := n.(type) {
+			case *ast.TypeSwitchStmt:
+				diags = append(diags, a.checkTypeSwitch(u, pkg, sw, sealed)...)
+			case *ast.SwitchStmt:
+				diags = append(diags, a.checkValueSwitch(u, pkg, sw, sealed)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func (a *ExhaustiveSwitch) checkTypeSwitch(u *Universe, pkg *Package, sw *ast.TypeSwitchStmt, sealed map[*types.TypeName]*sealedType) []Diagnostic {
+	var x ast.Expr
+	switch st := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := st.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if ta, ok := st.Rhs[0].(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return nil
+	}
+	named := namedOf(pkg.Info.Types[x].Type)
+	if named == nil {
+		return nil
+	}
+	st, ok := sealed[named.Obj()]
+	if !ok || !st.iface {
+		return nil
+	}
+
+	covered := map[*types.TypeName]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, te := range cc.List {
+			tv := pkg.Info.Types[te]
+			if tv.IsNil() {
+				continue
+			}
+			if cn := namedOf(tv.Type); cn != nil {
+				covered[cn.Obj()] = true
+			}
+		}
+	}
+	var missing []string
+	for tn, disp := range st.ifaceVariants {
+		if !covered[tn] {
+			missing = append(missing, disp)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if defaultClause != nil && u.Suppressed(pkg, defaultClause.Pos(), "lint:nonexhaustive") {
+		return nil
+	}
+	sort.Strings(missing)
+	return []Diagnostic{{
+		Pos:      u.Fset.Position(sw.Pos()),
+		Analyzer: a.Name(),
+		Message: fmt.Sprintf("type switch over %s is not exhaustive: missing %s; %s",
+			st.obj.Name(), strings.Join(missing, ", "), nonexhaustiveHint),
+	}}
+}
+
+func (a *ExhaustiveSwitch) checkValueSwitch(u *Universe, pkg *Package, sw *ast.SwitchStmt, sealed map[*types.TypeName]*sealedType) []Diagnostic {
+	if sw.Tag == nil {
+		return nil
+	}
+	named := namedOf(pkg.Info.Types[sw.Tag].Type)
+	if named == nil {
+		return nil
+	}
+	st, ok := sealed[named.Obj()]
+	if !ok || st.iface {
+		return nil
+	}
+
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, ce := range cc.List {
+			if tv := pkg.Info.Types[ce]; tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for key, name := range st.enumVariants {
+		if !covered[key] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if defaultClause != nil && u.Suppressed(pkg, defaultClause.Pos(), "lint:nonexhaustive") {
+		return nil
+	}
+	sort.Strings(missing)
+	return []Diagnostic{{
+		Pos:      u.Fset.Position(sw.Pos()),
+		Analyzer: a.Name(),
+		Message: fmt.Sprintf("switch over %s is not exhaustive: missing %s; %s",
+			st.obj.Name(), strings.Join(missing, ", "), nonexhaustiveHint),
+	}}
+}

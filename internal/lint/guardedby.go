@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// GuardedBy checks that struct fields annotated "// guarded by <mu>"
+// are only touched while the named mutex is held. The analysis is
+// lexical within each method of the owning type: an access is guarded
+// when the nearest preceding lock event on the mutex is an acquire
+// (<recv>.mu.Lock / RLock), with deferred unlocks excluded so the
+// lock-then-defer-unlock idiom keeps the rest of the body guarded.
+//
+// Escape hatches: methods named "*Locked" assume the caller holds the
+// lock; an access annotated "// lint:nolock <why>" is skipped (e.g.
+// initialization before the value is published); free functions —
+// constructors that build the struct before any concurrent access —
+// are not checked.
+type GuardedBy struct{}
+
+// Name implements Analyzer.
+func (a *GuardedBy) Name() string { return "guarded-by" }
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+type guardSpec struct {
+	field *types.Var
+	name  string // field name, for messages
+	mutex string // guarding mutex field name
+}
+
+// Check implements Analyzer.
+func (a *GuardedBy) Check(u *Universe, pkg *Package) []Diagnostic {
+	specs, diags := a.collectSpecs(u, pkg)
+	if len(specs) == 0 {
+		return diags
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := receiverTypeName(pkg, fd)
+			if recv == nil || len(specs[recv]) == 0 {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			diags = append(diags, a.checkMethod(u, pkg, fd, recv.Name(), specs[recv])...)
+		}
+	}
+	return diags
+}
+
+// collectSpecs gathers the annotated fields per struct type and
+// validates that each annotation names a mutex field of the struct.
+func (a *GuardedBy) collectSpecs(u *Universe, pkg *Package) (map[*types.TypeName][]guardSpec, []Diagnostic) {
+	specs := map[*types.TypeName][]guardSpec{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			stype, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if tn == nil {
+				return true
+			}
+			for _, fld := range stype.Fields.List {
+				mutex := guardAnnotation(fld)
+				if mutex == "" {
+					continue
+				}
+				if !hasMutexField(tn, mutex) {
+					diags = append(diags, Diagnostic{
+						Pos:      u.Fset.Position(fld.Pos()),
+						Analyzer: a.Name(),
+						Message:  fmt.Sprintf("guarded-by annotation names %q, which is not a sync.Mutex/RWMutex field of %s", mutex, tn.Name()),
+					})
+					continue
+				}
+				for _, id := range fld.Names {
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+						specs[tn] = append(specs[tn], guardSpec{field: v, name: id.Name, mutex: mutex})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return specs, diags
+}
+
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func hasMutexField(tn *types.TypeName, name string) bool {
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != name {
+			continue
+		}
+		t := f.Type().String()
+		return strings.HasSuffix(t, "sync.Mutex") || strings.HasSuffix(t, "sync.RWMutex")
+	}
+	return false
+}
+
+func receiverTypeName(pkg *Package, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pkg.Info.Types[fd.Recv.List[0].Type].Type
+	if named := namedOf(t); named != nil {
+		return named.Obj()
+	}
+	return nil
+}
+
+type lockEvent struct {
+	pos     token.Pos
+	acquire bool
+}
+
+func (a *GuardedBy) checkMethod(u *Universe, pkg *Package, fd *ast.FuncDecl, recvName string, specs []guardSpec) []Diagnostic {
+	// Calls wrapped in defer are release points at function exit, not
+	// at their lexical position; exclude them from the event stream.
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
+
+	events := map[string][]lockEvent{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[call] {
+			return true
+		}
+		mutex, acquire, ok := lockCall(call)
+		if ok {
+			events[mutex] = append(events[mutex], lockEvent{pos: call.Pos(), acquire: acquire})
+		}
+		return true
+	})
+	for _, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	}
+
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		for _, spec := range specs {
+			if spec.field != v {
+				continue
+			}
+			if u.Suppressed(pkg, sel.Pos(), "lint:nolock") {
+				break
+			}
+			if !lockedAt(events[spec.mutex], sel.Pos()) {
+				diags = append(diags, Diagnostic{
+					Pos:      u.Fset.Position(sel.Pos()),
+					Analyzer: a.Name(),
+					Message: fmt.Sprintf("field %s.%s (guarded by %s) accessed in %s without holding %s; acquire the lock, use a *Locked method, or annotate // lint:nolock <why>",
+						recvName, spec.name, spec.mutex, fd.Name.Name, spec.mutex),
+				})
+			}
+			break
+		}
+		return true
+	})
+	return diags
+}
+
+// lockCall recognizes <chain>.<mutex>.Lock/RLock/Unlock/RUnlock()
+// calls and returns the mutex field name and whether the call
+// acquires the lock.
+func lockCall(call *ast.CallExpr) (mutex string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name, acquire, true
+	case *ast.Ident:
+		return x.Name, acquire, true
+	}
+	return "", false, false
+}
+
+// lockedAt reports whether the last lexical lock event before pos is
+// an acquire.
+func lockedAt(events []lockEvent, pos token.Pos) bool {
+	held := false
+	for _, e := range events {
+		if e.pos >= pos {
+			break
+		}
+		held = e.acquire
+	}
+	return held
+}

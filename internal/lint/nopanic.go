@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids calls to the builtin panic in the query-path
+// packages: a malformed predicate or an unexpected operator must
+// surface as a returned error, never crash a serving process. Lines
+// annotated "// lint:invariant <why>" are exempt (true invariant
+// violations that indicate programmer error, not data).
+type NoPanic struct {
+	scopes []string
+}
+
+// NewNoPanic builds the analyzer restricted to the given import-path
+// specs (see MatchPath).
+func NewNoPanic(scopes ...string) *NoPanic { return &NoPanic{scopes: scopes} }
+
+// Name implements Analyzer.
+func (a *NoPanic) Name() string { return "no-panic" }
+
+// Check implements Analyzer.
+func (a *NoPanic) Check(u *Universe, pkg *Package) []Diagnostic {
+	if !matchAny(a.scopes, pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if u.Suppressed(pkg, call.Pos(), "lint:invariant") {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      u.Fset.Position(call.Pos()),
+				Analyzer: a.Name(),
+				Message:  "panic in the query path; return an error or annotate // lint:invariant <why>",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,22 @@
+// Package bad seeds error-discipline violations for the analyzer
+// tests.
+package bad
+
+import "strconv"
+
+// Discard hides the conversion failure in a blank identifier.
+func Discard(s string) int {
+	n, _ := strconv.Atoi(s) // want "error discarded with blank identifier"
+	return n
+}
+
+// Naked re-returns a foreign error with no wrapping, so the caller
+// cannot tell which layer failed.
+func Naked(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err // want "error from strconv.Atoi returned without wrapping"
+	}
+	_ = n
+	return nil
+}

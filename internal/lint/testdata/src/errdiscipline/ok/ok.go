@@ -1,0 +1,44 @@
+// Package ok demonstrates the error-handling patterns the
+// error-discipline analyzer accepts: wrapped foreign errors, bare
+// propagation of same-package errors, and lint:noerrcheck.
+package ok
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Wrapped adds this layer's context before propagating.
+func Wrapped(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("ok: parse %q: %w", s, err)
+	}
+	return n, nil
+}
+
+func local() error { return errors.New("ok: local failure") }
+
+// Propagate returns a same-package error bare: the frame that
+// produced it already attached context.
+func Propagate() error {
+	err := local()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Tolerated suppresses the naked-return rule with a justification.
+func Tolerated(s string) error {
+	_, err := strconv.Atoi(s)
+	return err // lint:noerrcheck the caller formats this verbatim
+}
+
+// BestEffort suppresses the discard rule for benign cleanup.
+func BestEffort(path string) {
+	// lint:noerrcheck best-effort cleanup; a missing file is fine
+	_ = os.Remove(path)
+}

@@ -1,0 +1,60 @@
+// Package bad seeds exhaustive-switch violations for the analyzer
+// tests. Every line carrying a `want` comment must produce exactly
+// that diagnostic.
+package bad
+
+// Op is a sealed operator enum.
+//
+// lint:exhaustive
+type Op int
+
+// The Op variants.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+)
+
+// Node is a sealed plan-node interface.
+//
+// lint:exhaustive
+type Node interface{ node() }
+
+// Scan is one Node variant.
+type Scan struct{}
+
+// Filter is the other Node variant.
+type Filter struct{}
+
+func (*Scan) node()   {}
+func (*Filter) node() {}
+
+// Describe is missing OpMul.
+func Describe(op Op) string {
+	switch op { // want "switch over Op is not exhaustive: missing OpMul"
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	}
+	return ""
+}
+
+// DescribeDefault has a default clause but no annotation; still flagged.
+func DescribeDefault(op Op) string {
+	switch op { // want "switch over Op is not exhaustive: missing OpSub"
+	default:
+		return "?"
+	case OpAdd, OpMul:
+		return "known"
+	}
+}
+
+// Walk is missing *Filter.
+func Walk(n Node) int {
+	switch n.(type) { // want "type switch over Node is not exhaustive: missing *Filter"
+	case *Scan:
+		return 1
+	}
+	return 0
+}

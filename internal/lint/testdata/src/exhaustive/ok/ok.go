@@ -1,0 +1,75 @@
+// Package ok demonstrates the clean patterns the exhaustive-switch
+// analyzer accepts: full coverage, an annotated partial switch, nil
+// cases, and unexported sentinel constants on exported enums.
+package ok
+
+// Op is a sealed operator enum.
+//
+// lint:exhaustive
+type Op int
+
+// The Op variants. numOps is a length sentinel, not a variant: the
+// type is exported, so only exported constants count.
+const (
+	OpAdd Op = iota
+	OpSub
+	numOps
+)
+
+// Node is a sealed plan-node interface.
+//
+// lint:exhaustive
+type Node interface{ node() }
+
+// Scan is the only Node variant.
+type Scan struct{}
+
+func (*Scan) node() {}
+
+// Describe covers every variant; the sentinel is not required.
+func Describe(op Op) string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	}
+	return ""
+}
+
+// Partial justifies its default clause.
+func Partial(op Op) string {
+	switch op {
+	case OpAdd:
+		return "add"
+	default: // lint:nonexhaustive only OpAdd needs a symbol here
+		return "?"
+	}
+}
+
+// Walk covers every variant; a nil case is never required.
+func Walk(n Node) int {
+	switch n.(type) {
+	case *Scan:
+		return 1
+	case nil:
+		return -1
+	}
+	return 0
+}
+
+// Covered keeps an unannotated default as a safety net; allowed
+// because every variant is already covered.
+func Covered(op Op) string {
+	switch op {
+	case OpAdd, OpSub:
+		return "known"
+	default:
+		return "sentinel"
+	}
+}
+
+// Sizes shows the sentinel's purpose: capacity math over the enum.
+func Sizes() [numOps]string {
+	return [numOps]string{"add", "sub"}
+}

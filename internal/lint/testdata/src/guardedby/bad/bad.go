@@ -1,0 +1,26 @@
+// Package bad seeds guarded-by violations for the analyzer tests.
+package bad
+
+import "sync"
+
+// Counter has one properly annotated field and one annotation that
+// names a non-mutex field.
+type Counter struct {
+	mu   sync.Mutex
+	name string
+	n    int // guarded by mu
+	id   int // guarded by name — want "which is not a sync.Mutex/RWMutex field of Counter"
+}
+
+// Bump touches the field with no lock at all.
+func (c *Counter) Bump() {
+	c.n++ // want "field Counter.n (guarded by mu) accessed in Bump without holding mu"
+}
+
+// Read releases the lock and then touches the field again.
+func (c *Counter) Read() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want "field Counter.n (guarded by mu) accessed in Read without holding mu"
+}

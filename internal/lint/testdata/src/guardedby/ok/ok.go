@@ -1,0 +1,57 @@
+// Package ok demonstrates the access patterns the guarded-by analyzer
+// accepts: lock-then-defer-unlock, paired lock/unlock, *Locked methods
+// whose caller holds the lock, constructors, and lint:nolock.
+package ok
+
+import "sync"
+
+// Counter guards its count with an RWMutex.
+type Counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// Bump uses the lock-then-defer-unlock idiom; the deferred unlock
+// runs at function exit, so the whole body stays guarded.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Read pairs RLock with RUnlock around the access.
+func (c *Counter) Read() int {
+	c.mu.RLock()
+	v := c.n
+	c.mu.RUnlock()
+	return v
+}
+
+// bumpLocked assumes the caller holds mu — exempt by naming
+// convention.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// Double relies on the *Locked helper under its own lock.
+func (c *Counter) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+	c.bumpLocked()
+}
+
+// Reset shows the lint:nolock hatch for a deliberate unguarded access.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	// lint:nolock the post-reset read is best-effort debug output
+	_ = c.n
+}
+
+// NewCounter is a free function: construction happens before the
+// value is shared, so constructors are never checked.
+func NewCounter(start int) *Counter {
+	c := &Counter{}
+	c.n = start
+	return c
+}

@@ -1,0 +1,10 @@
+// Package bad seeds a no-panic violation for the analyzer tests.
+package bad
+
+// Explode panics on bad input instead of returning an error.
+func Explode(op int) int {
+	if op < 0 {
+		panic("negative operator") // want "panic in the query path; return an error"
+	}
+	return op
+}

@@ -1,0 +1,24 @@
+// Package ok demonstrates the patterns the no-panic analyzer accepts:
+// returned errors and lint:invariant-annotated programmer-error
+// panics.
+package ok
+
+import "fmt"
+
+// Safe surfaces bad input as an error.
+func Safe(op int) (int, error) {
+	if op < 0 {
+		return 0, fmt.Errorf("nopanic: negative operator %d", op)
+	}
+	return op, nil
+}
+
+// MustPositive documents a true invariant: negative operators are
+// constructed nowhere, so reaching the panic is programmer error.
+func MustPositive(op int) int {
+	if op < 0 {
+		// lint:invariant negative operators are constructed nowhere
+		panic("negative operator")
+	}
+	return op
+}

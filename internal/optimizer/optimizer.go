@@ -14,10 +14,12 @@ package optimizer
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"eva/internal/catalog"
+	"eva/internal/costs"
 	"eva/internal/expr"
 	"eva/internal/parser"
 	"eva/internal/plan"
@@ -165,11 +167,19 @@ func (o *Optimizer) Optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 	start := time.Now()
 	res, err := o.optimize(stmt, mode)
 	elapsed := time.Since(start)
-	if o.Clock != nil {
-		// The optimizer's own work (symbolic analysis included) is real
-		// computation; charge the measured wall time (Fig. 6(b)'s
-		// "Optimization" overhead source).
-		o.Clock.Charge(simclock.CatOptimize, elapsed)
+	if o.Clock != nil && res != nil {
+		// The optimizer's own work (symbolic analysis included) is
+		// Fig. 6(b)'s "Optimization" overhead source. Charge a modeled
+		// cost proportional to the symbolic atoms processed, never the
+		// measured wall time: the virtual clock must stay deterministic
+		// across runs and machines (wall-time charges made golden
+		// outputs wobble at the rounding boundary).
+		atoms := 0
+		for _, pi := range res.Report.Preds {
+			atoms += pi.InterAtoms + pi.DiffAtoms + pi.UnionAtoms
+		}
+		o.Clock.Charge(simclock.CatOptimize,
+			costs.OptimizeBaseCost+time.Duration(atoms)*costs.OptimizeAtomCost)
 	}
 	if res != nil {
 		res.Report.OptimizeTime = elapsed
@@ -180,7 +190,7 @@ func (o *Optimizer) Optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error) {
 	table, err := o.Cat.Table(stmt.From)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("optimizer: %w", err)
 	}
 	stats := table.Stats
 	report := Report{Preds: map[string]PredInfo{}}
@@ -262,7 +272,7 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 	// --- Scan range pushdown from id predicates. ---
 	scanDNF, err := symbolic.FromExpr(expr.CombineConjuncts(scanPreds))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("optimizer: scan predicate: %w", err)
 	}
 	scanDNF = mode.reduce(scanDNF)
 	lo, hi := idRange(scanDNF, table.RowCount())
@@ -274,11 +284,20 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 	}
 
 	// --- Build scalar call descriptors. ---
+	// Iterate in sorted key order: callByKey is a map, and letting its
+	// iteration order pick the Apply stacking order makes plans (and
+	// simulated time) nondeterministic run to run.
+	callKeys := make([]string, 0, len(callByKey))
+	for key := range callByKey {
+		callKeys = append(callKeys, key)
+	}
+	sort.Strings(callKeys)
 	var calls []*scalarCall
-	for key, call := range callByKey {
+	for _, key := range callKeys {
+		call := callByKey[key]
 		def, err := o.Cat.UDF(call.Fn)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("optimizer: %w", err)
 		}
 		def, err = o.resolveScalarPhysical(call, def)
 		if err != nil {
@@ -354,7 +373,7 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 		node = emitFilters(node)
 		ownDNF, err := symbolic.FromExpr(expr.CombineConjuncts(sc.ownPreds))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("optimizer: %s predicate: %w", sc.def.Name, err)
 		}
 		preGate = mode.reduce(preGate.And(ownDNF))
 		report.PreOrder = append(report.PreOrder, sc.def.Name)
@@ -372,7 +391,7 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 		}
 		detDNF, err := symbolic.FromExpr(expr.CombineConjuncts(detPreds))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("optimizer: detector predicate: %w", err)
 		}
 		detGate = mode.reduce(detGate.And(detDNF))
 	} else if len(detPreds) > 0 {
@@ -391,7 +410,7 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 		node = emitFilters(node)
 		ownDNF, err := symbolic.FromExpr(expr.CombineConjuncts(sc.ownPreds))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("optimizer: %s predicate: %w", sc.def.Name, err)
 		}
 		gate = mode.reduce(gate.And(ownDNF))
 		report.Order = append(report.Order, sc.def.Name)
@@ -431,7 +450,7 @@ func (o *Optimizer) resolveScalarPhysical(call *expr.Call, def *catalog.UDF) (*c
 	if call.Accuracy != "" {
 		lvl, err := vision.ParseAccuracy(call.Accuracy)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("optimizer: %s: %w", call.Fn, err)
 		}
 		min = lvl
 	}

@@ -35,8 +35,8 @@ func (o *Optimizer) rankCalls(calls []*scalarCall, gate symbolic.DNF, stats symb
 
 		relDiff := 1.0
 		if mode.Reuse && mode.ReuseScalarUDFs {
-			entry := o.Mgr.Lookup(sc.sig)
-			diff := mode.diff(entry.Agg, gate)
+			agg := o.Mgr.AggOf(sc.sig)
+			diff := mode.diff(agg, gate)
 			selGate := symbolic.Selectivity(gate, stats)
 			selDiff := symbolic.Selectivity(diff, stats)
 			if selGate > 1e-9 {
@@ -71,11 +71,11 @@ func (o *Optimizer) rankCalls(calls []*scalarCall, gate symbolic.DNF, stats symb
 // associated with the invocation (everything evaluated before it).
 func (o *Optimizer) applyScalar(node plan.Node, sc *scalarCall, gate symbolic.DNF, mode Mode, report *Report) (plan.Node, error) {
 	enabled := mode.Reuse && mode.ReuseScalarUDFs
-	entry := o.Mgr.Lookup(sc.sig)
+	agg := o.Mgr.AggOf(sc.sig)
 
-	inter := mode.inter(entry.Agg, gate)
-	diff := mode.diff(entry.Agg, gate)
-	union := mode.union(entry.Agg, gate)
+	inter := mode.inter(agg, gate)
+	diff := mode.diff(agg, gate)
+	union := mode.union(agg, gate)
 	info := PredInfo{
 		Signature:  sc.sig.Key(),
 		Query:      gate.String(),
@@ -137,7 +137,7 @@ func (o *Optimizer) applyDetector(node plan.Node, apply *parser.ApplyClause, gat
 	if apply.Accuracy != "" {
 		lvl, err := vision.ParseAccuracy(apply.Accuracy)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("optimizer: %s: %w", apply.Fn, err)
 		}
 		minAcc = lvl
 	}
@@ -149,7 +149,7 @@ func (o *Optimizer) applyDetector(node plan.Node, apply *parser.ApplyClause, gat
 	if !logical {
 		def, err := o.Cat.UDF(apply.Fn)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("optimizer: %w", err)
 		}
 		if def.Kind != catalog.KindTableUDF {
 			return nil, fmt.Errorf("optimizer: %s is not a table UDF (CROSS APPLY requires one)", apply.Fn)
@@ -202,10 +202,10 @@ func (o *Optimizer) applyDetector(node plan.Node, apply *parser.ApplyClause, gat
 				sources = nil
 			}
 		}
-		entry := o.Mgr.Lookup(sig)
-		inter := mode.inter(entry.Agg, gate)
-		diff := mode.diff(entry.Agg, gate)
-		union := mode.union(entry.Agg, gate)
+		agg := o.Mgr.AggOf(sig)
+		inter := mode.inter(agg, gate)
+		diff := mode.diff(agg, gate)
+		union := mode.union(agg, gate)
 		report.Preds[sig.Key()] = PredInfo{
 			Signature:  sig.Key(),
 			Query:      gate.String(),

@@ -26,8 +26,7 @@ func (o *Optimizer) selectPhysicalUDFs(cands []*catalog.UDF, args []expr.Expr, q
 	var xs []cand
 	for _, def := range cands {
 		sig := udf.NewSignature(def.Name, args)
-		entry := o.Mgr.Lookup(sig)
-		xs = append(xs, cand{def: def, sig: sig, agg: entry.Agg})
+		xs = append(xs, cand{def: def, sig: sig, agg: o.Mgr.AggOf(sig)})
 	}
 	cy := cands[0].Cost.Seconds() // cheapest UDF's per-tuple cost (line 3)
 	cr := costs.TableViewReadCost.Seconds()

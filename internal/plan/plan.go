@@ -18,6 +18,12 @@ import (
 )
 
 // Node is a physical plan operator.
+//
+// The implementations form a sealed set (*Scan, *Filter, *ReuseApply,
+// *Project, *GroupBy, *Sort, *Limit); switches over Node must handle
+// every variant.
+//
+// lint:exhaustive
 type Node interface {
 	Schema() types.Schema
 	Children() []Node
@@ -156,6 +162,7 @@ func (p *Project) Schema() types.Schema {
 					kind = types.KindBool
 				case *expr.Call:
 					kind = types.KindString // refined by the optimizer when known
+				default: // lint:nonexhaustive Arith and Star items keep the float default
 				}
 			}
 			p.sch = append(p.sch, types.Column{Name: it.Name, Kind: kind})
@@ -174,6 +181,8 @@ func (p *Project) Describe() string {
 }
 
 // AggKind enumerates aggregate functions.
+//
+// lint:exhaustive
 type AggKind int
 
 // Aggregate functions.

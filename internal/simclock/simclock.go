@@ -16,6 +16,8 @@ import (
 
 // Category labels a charge with the component that incurred it; the
 // categories mirror the breakdowns in Table 4 and Fig. 6(b).
+//
+// lint:exhaustive
 type Category int
 
 // Charge categories.
@@ -68,7 +70,7 @@ func Categories() []Category {
 // concurrent use; the zero value is ready.
 type Clock struct {
 	mu      sync.Mutex
-	charges [numCategories]time.Duration
+	charges [numCategories]time.Duration // guarded by mu
 }
 
 // Charge adds d of simulated time to the category.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -28,8 +29,8 @@ type Engine struct {
 	root string
 
 	mu     sync.Mutex
-	videos map[string]*Video
-	views  map[string]*View
+	videos map[string]*Video // guarded by mu
+	views  map[string]*View  // guarded by mu
 }
 
 // Open creates (or reopens) a storage engine rooted at dir.
@@ -106,7 +107,7 @@ func (e *Engine) View(name string) *View {
 	return e.views[strings.ToLower(name)]
 }
 
-// Views returns all view names.
+// Views returns all view names, sorted.
 func (e *Engine) Views() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -114,6 +115,7 @@ func (e *Engine) Views() []string {
 	for n := range e.views {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -35,7 +35,7 @@ type Video struct {
 	segFrames int
 
 	mu    sync.Mutex
-	cache map[int]*types.Batch // segment index -> decoded batch
+	cache map[int]*types.Batch // guarded by mu; segment index -> decoded batch
 }
 
 // Name returns the table name.

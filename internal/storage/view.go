@@ -24,11 +24,11 @@ type View struct {
 	keyIdx  []int
 
 	mu        sync.RWMutex
-	batch     *types.Batch
-	rowsByKey map[string][]int
-	processed map[string]struct{}
-	file      *os.File
-	footprint int64
+	batch     *types.Batch        // guarded by mu
+	rowsByKey map[string][]int    // guarded by mu
+	processed map[string]struct{} // guarded by mu
+	file      *os.File            // guarded by mu
+	footprint int64               // guarded by mu
 }
 
 // View file format: header (magic, version, schema, key columns)
@@ -161,6 +161,7 @@ func (v *View) replay(data []byte) error {
 					key[c] = d
 					off += n
 				}
+				// lint:nolock replay runs inside openView before the view is published
 				v.processed[encodeKey(key)] = struct{}{}
 			}
 		default:

@@ -215,17 +215,18 @@ func (c Constraint) Intersect(o Constraint) Constraint {
 	return CatConstraint(c.Cat.Intersect(o.Cat))
 }
 
-// Union returns c ∨ o. It panics on type mismatch; callers guard with
-// typeMismatch (a mismatch means the two predicates constrain the same
-// term with different types, which FromExpr rejects).
-func (c Constraint) Union(o Constraint) Constraint {
+// Union returns c ∨ o. A type mismatch — the same term constrained
+// both numerically and categorically — is reported as an error;
+// FromExpr rejects such predicates, so seeing one here means the
+// caller combined constraints from incompatible sources.
+func (c Constraint) Union(o Constraint) (Constraint, error) {
 	if c.typeMismatch(o) {
-		panic("symbolic: union of mismatched constraint kinds")
+		return Constraint{}, fmt.Errorf("symbolic: union of mismatched constraint kinds")
 	}
 	if c.Numeric {
-		return NumConstraint(c.Ivs.Union(o.Ivs))
+		return NumConstraint(c.Ivs.Union(o.Ivs)), nil
 	}
-	return CatConstraint(c.Cat.Union(o.Cat))
+	return CatConstraint(c.Cat.Union(o.Cat)), nil
 }
 
 // Complement returns ¬c.

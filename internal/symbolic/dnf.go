@@ -358,7 +358,7 @@ func fromExpr(e expr.Expr, negated bool) (DNF, error) {
 		return opaqueAtom(n.String(), negated), nil
 	case *expr.Call:
 		return opaqueAtom(n.String(), negated), nil
-	default:
+	default: // lint:nonexhaustive Arith/Star cannot appear as boolean predicates; rejected with an error
 		return False(), fmt.Errorf("symbolic: unsupported predicate node %T (%s)", e, e)
 	}
 }
@@ -385,7 +385,11 @@ func atomFromCmp(c *expr.Cmp, negated bool) (DNF, error) {
 		return opaqueAtom(c.String(), negated), nil
 	}
 	if negated {
-		op = op.Negate()
+		nop, err := op.Negate()
+		if err != nil {
+			return False(), err
+		}
+		op = nop
 	}
 	name := term.String()
 	val := k.Val
@@ -415,9 +419,8 @@ func atomFromCmp(c *expr.Cmp, negated bool) (DNF, error) {
 			return FromConjuncts(NewConjunct().WithConstraint(name, CatConstraint(NewCatSet(s)))), nil
 		case expr.OpNe:
 			return FromConjuncts(NewConjunct().WithConstraint(name, CatConstraint(NewCatSetNot(s)))), nil
-		default:
-			// Ordered string comparison: opaque (negation was already
-			// folded into op above).
+		default: // lint:nonexhaustive ordered string comparisons collapse to one opaque atom
+			// (negation was already folded into op above).
 			return opaqueAtom(fmt.Sprintf("%s %s %s", name, op, val), false), nil
 		}
 	case types.KindBool:

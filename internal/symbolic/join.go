@@ -19,6 +19,8 @@ import (
 )
 
 // JoinRelation classifies two equality-join predicates.
+//
+// lint:exhaustive
 type JoinRelation int
 
 // Join predicate relationships.
@@ -40,6 +42,8 @@ func (r JoinRelation) String() string {
 		return "equivalent"
 	case JoinDisjoint:
 		return "disjoint"
+	case JoinUnknown:
+		return "unknown"
 	default:
 		return "unknown"
 	}
@@ -145,6 +149,8 @@ func JoinReusable(prev, next expr.Expr) (bool, string) {
 		return true, "join predicates are equivalent; UDF results fully reusable"
 	case JoinDisjoint:
 		return false, "join predicates are provably disjoint; no reuse opportunity"
+	case JoinUnknown:
+		return false, "join predicate relationship unknown; conservatively not reused"
 	default:
 		return false, fmt.Sprintf("join predicate relationship %s; conservatively not reused", rel)
 	}

@@ -186,7 +186,7 @@ func collectAtoms(e expr.Expr) (map[string]int, []string) {
 			walk(t.R)
 		case *expr.Not:
 			walk(t.E)
-		default:
+		default: // lint:nonexhaustive every non-connective node is an opaque atom
 			key := n.String()
 			if _, ok := atoms[key]; !ok {
 				atoms[key] = len(order)
@@ -218,7 +218,7 @@ func evalOpaque(e expr.Expr, atoms map[string]int, m uint32) (bool, error) {
 	case *expr.Not:
 		v, err := evalOpaque(t.E, atoms, m)
 		return !v, err
-	default:
+	default: // lint:nonexhaustive every non-connective node is an opaque atom
 		idx, ok := atoms[e.String()]
 		if !ok {
 			return false, fmt.Errorf("symbolic: unregistered atom %q", e)
@@ -237,7 +237,7 @@ func countLiterals(e expr.Expr) int {
 		return countLiterals(t.E)
 	case nil:
 		return 0
-	default:
+	default: // lint:nonexhaustive every non-connective node counts as one literal
 		return 1
 	}
 }

@@ -146,7 +146,14 @@ func reduceUnionConjunctives(c1, c2 Conjunct) (a, b Conjunct, act reduceAction) 
 		if _, ok := c1.cons[t]; !ok {
 			ref = c2.cons[t]
 		}
-		u := c1.get(t, ref).Union(c2.get(t, ref))
+		u, err := c1.get(t, ref).Union(c2.get(t, ref))
+		if err != nil {
+			// Mixed-kind constraints on one term: leave the pair
+			// unreduced. Reduction is an optimization, so skipping a
+			// step preserves semantics. (The typeConflict pre-check
+			// above makes this unreachable in practice.)
+			return c1, c2, actNone
+		}
 		merged := c1.clone()
 		if u.Full() {
 			delete(merged.cons, t)

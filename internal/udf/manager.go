@@ -1,6 +1,7 @@
 package udf
 
 import (
+	"sort"
 	"sync"
 
 	"eva/internal/symbolic"
@@ -21,7 +22,7 @@ type Entry struct {
 // the symbolic reuse queries (p∩, p−) the optimizer issues.
 type Manager struct {
 	mu      sync.Mutex
-	entries map[string]*Entry
+	entries map[string]*Entry // guarded by mu
 }
 
 // NewManager returns an empty manager.
@@ -29,11 +30,10 @@ func NewManager() *Manager {
 	return &Manager{entries: map[string]*Entry{}}
 }
 
-// Lookup returns the entry for a signature, creating it (with p_u =
-// FALSE, per §4.1) on first sight.
-func (m *Manager) Lookup(sig Signature) *Entry {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// ensureLocked returns the live entry for a signature, creating it
+// (with p_u = FALSE, per §4.1) on first sight. Callers must hold mu;
+// the returned pointer must not escape the critical section.
+func (m *Manager) ensureLocked(sig Signature) *Entry {
 	key := sig.Key()
 	e, ok := m.entries[key]
 	if !ok {
@@ -43,12 +43,35 @@ func (m *Manager) Lookup(sig Signature) *Entry {
 	return e
 }
 
-// Peek returns the entry if it exists, without creating it.
-func (m *Manager) Peek(sig Signature) (*Entry, bool) {
+// Lookup returns a snapshot of the entry for a signature, creating it
+// (with p_u = FALSE, per §4.1) on first sight. The snapshot is a value
+// copy: a concurrent Commit replaces the live entry's predicate but
+// never mutates the snapshot (DNFs are immutable once built).
+func (m *Manager) Lookup(sig Signature) Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return *m.ensureLocked(sig)
+}
+
+// AggOf returns the signature's aggregated predicate p_u, creating
+// the entry on first sight. This is the race-safe accessor the
+// optimizer uses while concurrent executions Commit new predicates.
+func (m *Manager) AggOf(sig Signature) symbolic.DNF {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ensureLocked(sig).Agg
+}
+
+// Peek returns a snapshot of the entry if it exists, without creating
+// it.
+func (m *Manager) Peek(sig Signature) (Entry, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e, ok := m.entries[sig.Key()]
-	return e, ok
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
 }
 
 // Analysis is the outcome of the symbolic reuse analysis for one UDF
@@ -64,9 +87,8 @@ type Analysis struct {
 // the signature's aggregated predicate and the invocation predicate q
 // (§3.2 challenge I).
 func (m *Manager) Analyze(sig Signature, q symbolic.DNF) Analysis {
-	e := m.Lookup(sig)
 	m.mu.Lock()
-	agg := e.Agg
+	agg := m.ensureLocked(sig).Agg
 	m.mu.Unlock()
 	return Analysis{
 		Inter: symbolic.Inter(agg, q),
@@ -78,9 +100,9 @@ func (m *Manager) Analyze(sig Signature, q symbolic.DNF) Analysis {
 // Commit records that the invocation with predicate q has been
 // materialized: p_u ← UNION(p_u, q).
 func (m *Manager) Commit(sig Signature, q symbolic.DNF) {
-	e := m.Lookup(sig)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	e := m.ensureLocked(sig)
 	e.Agg = symbolic.Union(e.Agg, q)
 }
 
@@ -91,13 +113,15 @@ func (m *Manager) Reset() {
 	m.entries = map[string]*Entry{}
 }
 
-// Entries returns a snapshot of the manager's entries.
-func (m *Manager) Entries() []*Entry {
+// Entries returns value snapshots of the manager's entries, sorted by
+// signature key so callers never observe map-iteration order.
+func (m *Manager) Entries() []Entry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]*Entry, 0, len(m.entries))
+	out := make([]Entry, 0, len(m.entries))
 	for _, e := range m.entries {
-		out = append(out, e)
+		out = append(out, *e)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Key() < out[j].Sig.Key() })
 	return out
 }

@@ -49,15 +49,15 @@ type Runtime struct {
 	clock *simclock.Clock
 
 	mu       sync.Mutex
-	funCache bool
-	scalarC  map[xxhash.Key128]types.Datum
-	tableC   map[xxhash.Key128]*types.Batch
-	impls    map[string]ScalarFunc
+	funCache bool                           // guarded by mu
+	scalarC  map[xxhash.Key128]types.Datum  // guarded by mu
+	tableC   map[xxhash.Key128]*types.Batch // guarded by mu
+	impls    map[string]ScalarFunc          // guarded by mu
 
-	demand map[string]map[uint64]int
-	total  map[string]int
-	reused map[string]int
-	evals  map[string]int
+	demand map[string]map[uint64]int // guarded by mu
+	total  map[string]int            // guarded by mu
+	reused map[string]int            // guarded by mu
+	evals  map[string]int            // guarded by mu
 }
 
 // NewRuntime returns a runtime over the catalog, charging the clock.
