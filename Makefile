@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench
+.PHONY: build test race lint check bench faults-stress
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,19 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
+# faults-stress exercises the resilience machinery: the 24-seed fault
+# sweep and the crash-recovery kill-point matrix under the race
+# detector, then short fuzz smokes over the view-log replay and datum
+# decoders. See DESIGN.md "Failure model & resilience".
+faults-stress:
+	$(GO) test -race -run 'TestFaultSweep|TestQueryDeadlineConfig' .
+	$(GO) test -race -run 'TestViewCrashRecovery|TestViewAppendRollback|TestViewChecksum' ./internal/storage/
+	$(GO) test -run=^$$ -fuzz=FuzzViewReplay -fuzztime=5s ./internal/storage/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeDatum -fuzztime=5s ./internal/types/
+
 # check is the full verification gate: formatting, vet, the evalint
-# suite, a clean build, and the test suite under the race detector.
+# suite, a clean build, the test suite under the race detector, and
+# the fault-injection stress pass.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -29,3 +40,4 @@ check:
 	$(GO) run ./cmd/evalint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) faults-stress

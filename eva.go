@@ -32,6 +32,7 @@ import (
 	"eva/internal/catalog"
 	"eva/internal/core"
 	"eva/internal/exec"
+	"eva/internal/faults"
 	"eva/internal/optimizer"
 	"eva/internal/parser"
 	"eva/internal/plan"
@@ -107,7 +108,15 @@ type Config struct {
 	// bounding boxes are reused across detector models when boxes for
 	// the same object nearly coincide. Approximate by construction.
 	FuzzyReuse bool
+	// QueryDeadline bounds each query's *simulated* execution time;
+	// a query whose virtual-clock charges exceed the budget aborts
+	// with ErrDeadlineExceeded. Zero means unlimited.
+	QueryDeadline time.Duration
 }
+
+// ErrDeadlineExceeded is returned (wrapped) by Exec when a query
+// exhausts Config.QueryDeadline; test with errors.Is.
+var ErrDeadlineExceeded = exec.ErrDeadlineExceeded
 
 // Result is the outcome of executing one statement.
 type Result struct {
@@ -162,6 +171,7 @@ func Open(cfg Config) (*System, error) {
 	}
 	eng := core.New(store, cfg.BatchSize)
 	eng.Runtime.SetFunCache(cfg.Mode == ModeFunCache)
+	eng.Deadline = cfg.QueryDeadline
 	s := &System{
 		cfg: cfg, tempDir: temp,
 		eng:   eng,
@@ -437,6 +447,14 @@ func (s *System) execShow(st *parser.ShowStmt) (*Result, error) {
 // RegisterScalarImpl installs a Go implementation for a CREATE'd UDF.
 func (s *System) RegisterScalarImpl(name string, fn ScalarFunc) {
 	s.rt().RegisterImpl(name, fn)
+}
+
+// InjectFaults installs a deterministic fault injector across the
+// engine's fault sites — UDF evaluation, view-log writes, and the
+// executor's deadline checks (nil disables injection). Resilience
+// sweeps and in-module tools use it; see internal/faults.
+func (s *System) InjectFaults(inj *faults.Injector) {
+	s.eng.SetFaults(inj)
 }
 
 // EvalScalarUDF evaluates a scalar UDF directly (outside any query),

@@ -16,8 +16,12 @@
 package core
 
 import (
+	"errors"
+	"time"
+
 	"eva/internal/catalog"
 	"eva/internal/exec"
+	"eva/internal/faults"
 	"eva/internal/optimizer"
 	"eva/internal/parser"
 	"eva/internal/plan"
@@ -27,6 +31,13 @@ import (
 	"eva/internal/udf"
 )
 
+// maxReplans bounds the replan-on-failure loop. Re-running a query
+// whose eval model failed feeds that model's circuit breaker (one
+// failure per run), so the bound must cover at least
+// udf.DefaultBreakerThreshold failing runs plus the degraded run that
+// follows the trip.
+const maxReplans = udf.DefaultBreakerThreshold
+
 // Engine is one instance of the semantic reuse pipeline.
 type Engine struct {
 	Catalog *catalog.Catalog
@@ -35,8 +46,12 @@ type Engine struct {
 	Store   *storage.Engine
 	Clock   *simclock.Clock
 	Opt     *optimizer.Optimizer
+	// Deadline is the virtual-time budget applied to each query
+	// execution (0 = unlimited).
+	Deadline time.Duration
 
 	batchSize int
+	faults    *faults.Injector
 }
 
 // New assembles an engine over a storage root.
@@ -44,15 +59,29 @@ func New(store *storage.Engine, batchSize int) *Engine {
 	cat := catalog.New()
 	clock := &simclock.Clock{}
 	mgr := udf.NewManager()
+	rt := udf.NewRuntime(cat, clock)
+	opt := optimizer.New(cat, mgr, clock)
+	// The runtime's breaker state and observed failure rates drive the
+	// optimizer's graceful degradation (health-filtered Algorithm 2).
+	opt.Health = rt
 	return &Engine{
 		Catalog:   cat,
 		Manager:   mgr,
-		Runtime:   udf.NewRuntime(cat, clock),
+		Runtime:   rt,
 		Store:     store,
 		Clock:     clock,
-		Opt:       optimizer.New(cat, mgr, clock),
+		Opt:       opt,
 		batchSize: batchSize,
 	}
+}
+
+// SetFaults installs one deterministic fault injector across every
+// fault site — UDF evaluation, view writes, and the executor's
+// deadline checks (nil disables injection).
+func (e *Engine) SetFaults(inj *faults.Injector) {
+	e.faults = inj
+	e.Runtime.SetInjector(inj)
+	e.Store.SetInjector(inj)
 }
 
 // Outcome is the result of running one SELECT through the pipeline.
@@ -75,21 +104,39 @@ func (e *Engine) ExecuteTraced(stmt *parser.SelectStmt, mode optimizer.Mode) (*O
 }
 
 func (e *Engine) execute(stmt *parser.SelectStmt, mode optimizer.Mode, traced bool) (*Outcome, error) {
-	optRes, err := e.Opt.Optimize(stmt, mode)
-	if err != nil {
-		return nil, err
+	// Replan-on-breaker loop: when a model's circuit breaker trips
+	// mid-execution, the plan's eval target is now known-unhealthy, so
+	// re-optimizing lets the health filter re-run Algorithm 2 over the
+	// remaining models implementing the logical task (graceful
+	// degradation) instead of failing the query.
+	for attempt := 0; ; attempt++ {
+		optRes, err := e.Opt.Optimize(stmt, mode)
+		if err != nil {
+			return nil, err
+		}
+		ctx := &exec.Context{
+			Store: e.Store, Runtime: e.Runtime, Clock: e.Clock,
+			BatchSize: e.batchSize, Faults: e.faults, Deadline: e.Deadline,
+		}
+		var trace *exec.Trace
+		if traced {
+			trace = exec.NewTrace()
+			ctx.Trace = trace
+		}
+		rows, err := exec.Run(ctx, optRes.Plan)
+		if err != nil {
+			// ErrModelUnavailable: a breaker tripped, replan degrades
+			// immediately. ErrEvalFailed: the failed run charged the
+			// breaker; re-running either succeeds (fault passed) or
+			// accumulates toward the trip that unlocks degradation.
+			replannable := errors.Is(err, udf.ErrModelUnavailable) || errors.Is(err, udf.ErrEvalFailed)
+			if replannable && attempt < maxReplans {
+				continue
+			}
+			return nil, err
+		}
+		return &Outcome{Rows: rows, Plan: optRes.Plan, Report: optRes.Report, Trace: trace}, nil
 	}
-	ctx := &exec.Context{Store: e.Store, Runtime: e.Runtime, Clock: e.Clock, BatchSize: e.batchSize}
-	var trace *exec.Trace
-	if traced {
-		trace = exec.NewTrace()
-		ctx.Trace = trace
-	}
-	rows, err := exec.Run(ctx, optRes.Plan)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{Rows: rows, Plan: optRes.Plan, Report: optRes.Report, Trace: trace}, nil
 }
 
 // Plan runs only the optimization phase, without executing and without

@@ -51,4 +51,62 @@ const (
 	// (INTER/DIFF/UNION construction and reduction); the paper reports
 	// sub-second optimization for predicates of hundreds of atoms.
 	OptimizeAtomCost = 10 * time.Microsecond
+
+	// RetryBackoffBase is the first backoff charged to the virtual
+	// clock after a transient UDF failure; subsequent attempts double
+	// it up to RetryBackoffMax (capped exponential backoff). The
+	// values model a model-serving hiccup: short enough that one
+	// retry is cheaper than any detector invocation, long enough to
+	// be visible in the Retry category of the time breakdown.
+	RetryBackoffBase = 20 * time.Millisecond
+
+	// RetryBackoffMax caps the exponential backoff growth.
+	RetryBackoffMax = 160 * time.Millisecond
+
+	// RetryMaxAttempts is the total number of evaluation attempts per
+	// invocation (1 initial + RetryMaxAttempts-1 retries).
+	RetryMaxAttempts = 4
 )
+
+// RetryBackoff returns the backoff charged before retry attempt
+// `attempt` (attempt 2 is the first retry): Base·2^(attempt-2),
+// capped at RetryBackoffMax.
+func RetryBackoff(attempt int) time.Duration {
+	if attempt <= 1 {
+		return 0
+	}
+	d := RetryBackoffBase
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if d >= RetryBackoffMax {
+			return RetryBackoffMax
+		}
+	}
+	if d > RetryBackoffMax {
+		d = RetryBackoffMax
+	}
+	return d
+}
+
+// RetryAdjustedCost is the Eq. 3 planning cost of one UDF invocation
+// when the model fails transiently with probability p per attempt:
+// the expected number of attempts (truncated geometric series over
+// RetryMaxAttempts) times the profiled per-attempt cost, plus the
+// expected backoff charged between attempts. With p = 0 it returns c
+// exactly, so a healthy workload plans identically to a fault-free
+// one.
+func RetryAdjustedCost(c time.Duration, p float64) time.Duration {
+	if p <= 0 {
+		return c
+	}
+	if p > 1 {
+		p = 1
+	}
+	expected := float64(c)
+	pk := 1.0
+	for attempt := 2; attempt <= RetryMaxAttempts; attempt++ {
+		pk *= p // probability that attempt `attempt` is reached
+		expected += pk * float64(c+RetryBackoff(attempt))
+	}
+	return time.Duration(expected)
+}

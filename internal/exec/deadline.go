@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"eva/internal/faults"
+	"eva/internal/types"
+)
+
+// ErrDeadlineExceeded marks a query aborted because its virtual-time
+// budget ran out (or a fault at faults.SiteDeadline simulated it).
+var ErrDeadlineExceeded = errors.New("query deadline exceeded")
+
+// ErrCanceled marks a query aborted by Context.Cancel.
+var ErrCanceled = errors.New("query canceled")
+
+// deadlineState is the per-Run cancellation state shared by every
+// iterator of one execution.
+type deadlineState struct {
+	clock    clockReader
+	faults   *faults.Injector
+	deadline time.Duration // absolute virtual time; 0 = none
+	armed    bool          // false while created by a pre-Run Cancel
+	canceled atomic.Bool
+}
+
+// clockReader is the slice of simclock.Clock the guard needs.
+type clockReader interface {
+	Total() time.Duration
+}
+
+// check returns the abort error, if any. The order matters for
+// determinism: explicit cancellation wins, then injected expiry (which
+// consumes exactly one injector draw per check), then the real budget.
+func (d *deadlineState) check() error {
+	if d == nil {
+		return nil
+	}
+	if d.canceled.Load() {
+		return fmt.Errorf("exec: %w", ErrCanceled)
+	}
+	if ferr := d.faults.Check(faults.SiteDeadline); ferr != nil {
+		return fmt.Errorf("exec: %w: %w", ErrDeadlineExceeded, ferr)
+	}
+	if d.deadline > 0 && d.clock.Total() >= d.deadline {
+		return fmt.Errorf("exec: %w (budget %v)", ErrDeadlineExceeded, d.deadline)
+	}
+	return nil
+}
+
+// Cancel aborts the running (or next) execution on this Context: every
+// iterator's next returns ErrCanceled at its next check. Cancellation
+// is sticky until the next Run.
+func (c *Context) Cancel() {
+	if c.dl == nil {
+		c.dl = &deadlineState{}
+	}
+	c.dl.canceled.Store(true)
+}
+
+// armDeadline installs the per-Run cancellation state. A Cancel issued
+// before Run (on an un-armed state) carries into this Run; a Cancel
+// that aborted a previous Run does not, so each Run starts fresh.
+func (c *Context) armDeadline() {
+	pre := c.dl != nil && !c.dl.armed && c.dl.canceled.Load()
+	c.dl = &deadlineState{clock: c.Clock, faults: c.Faults, armed: true}
+	if c.Deadline > 0 {
+		c.dl.deadline = c.Clock.Total() + c.Deadline
+	}
+	if pre {
+		c.dl.canceled.Store(true)
+	}
+}
+
+// guardIter wraps an iterator so that every next call first checks the
+// deadline state. Installed by build around every operator, it bounds
+// the virtual time a runaway query can consume to one batch beyond its
+// budget — including inside the pipeline-breaking operators, whose
+// inputs are themselves guarded.
+type guardIter struct {
+	dl *deadlineState
+	in iterator
+}
+
+func (g *guardIter) next() (*types.Batch, error) {
+	if err := g.dl.check(); err != nil {
+		return nil, err
+	}
+	return g.in.next()
+}

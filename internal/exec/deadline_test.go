@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"eva/internal/costs"
+	"eva/internal/expr"
+	"eva/internal/faults"
+	"eva/internal/plan"
+	"eva/internal/vision"
+)
+
+func TestDeadlineUnlimitedByDefault(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	out, err := Run(ctx, scan(0, 1000))
+	if err != nil || out.Len() != 1000 {
+		t.Fatalf("rows=%d err=%v", out.Len(), err)
+	}
+}
+
+func TestDeadlineExpiresMidScan(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	// 64-frame batches at ReadVideoCost each: budget for ~3 batches.
+	ctx.Deadline = 200 * costs.ReadVideoCost
+	_, err := Run(ctx, scan(0, 10000))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// The run stopped near the budget, not after draining the scan.
+	if total := ctx.Clock.Total(); total > 400*costs.ReadVideoCost {
+		t.Errorf("ran %v past a %v budget", total, ctx.Deadline)
+	}
+}
+
+func TestDeadlineIsPerRun(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Deadline = 200 * costs.ReadVideoCost
+	if _, err := Run(ctx, scan(0, 10000)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("first run: %v", err)
+	}
+	// The budget re-arms from the clock's current total: a small query
+	// still fits even though the clock already advanced.
+	out, err := Run(ctx, scan(0, 100))
+	if err != nil || out.Len() != 100 {
+		t.Fatalf("second run: rows=%d err=%v", out.Len(), err)
+	}
+}
+
+func TestDeadlineInsidePipelineBreaker(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Deadline = 200 * costs.ReadVideoCost
+	// GroupBy drains its whole input before emitting: the guard on its
+	// input must abort the drain loop.
+	g := &plan.GroupBy{
+		Input: scan(0, 10000),
+		Aggs:  []plan.Agg{{Kind: plan.AggCount, Name: "n"}},
+	}
+	_, err := Run(ctx, g)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	// Same through a draining filter that rejects every row.
+	ctx2 := testCtx(t, vision.Jackson)
+	ctx2.Deadline = 200 * costs.ReadVideoCost
+	pred := expr.NewCmp(expr.OpEq, colx("id"), intc(-1))
+	if _, err := Run(ctx2, &plan.Filter{Input: scan(0, 10000), Pred: pred}); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("filter drain err = %v", err)
+	}
+}
+
+func TestCancelBeforeAndDuringRun(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Cancel()
+	if _, err := Run(ctx, scan(0, 100)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-run cancel: %v", err)
+	}
+	// Cancellation is per Run: the next Run proceeds.
+	if out, err := Run(ctx, scan(0, 100)); err != nil || out.Len() != 100 {
+		t.Fatalf("post-cancel run: rows=%d err=%v", out.Len(), err)
+	}
+}
+
+func TestInjectedDeadlineExpiry(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	inj := faults.New(7)
+	// The third deadline check aborts the query regardless of budget.
+	inj.Rule(faults.SiteDeadline, faults.Rule{Kind: faults.Permanent, At: []int{3}})
+	ctx.Faults = inj
+	_, err := Run(ctx, scan(0, 10000))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := faults.AsFault(err); !ok {
+		t.Errorf("injected fault lost from chain: %v", err)
+	}
+	if inj.Calls(faults.SiteDeadline) != 3 {
+		t.Errorf("deadline site consulted %d times, want 3", inj.Calls(faults.SiteDeadline))
+	}
+}
+
+func TestDeadlineZeroBudgetStillRunsUntilCharged(t *testing.T) {
+	// A fresh clock with a generous budget never trips on an empty
+	// plan; sanity-check the boundary arithmetic.
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Deadline = time.Hour
+	out, err := Run(ctx, scan(0, 10))
+	if err != nil || out.Len() != 10 {
+		t.Fatalf("rows=%d err=%v", out.Len(), err)
+	}
+}

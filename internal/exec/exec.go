@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"eva/internal/costs"
 	"eva/internal/expr"
+	"eva/internal/faults"
 	"eva/internal/plan"
 	"eva/internal/simclock"
 	"eva/internal/storage"
@@ -31,8 +33,16 @@ type Context struct {
 	// Trace, when set, collects per-operator statistics for this
 	// execution (EXPLAIN ANALYZE). Attach a fresh Trace per Run.
 	Trace *Trace
+	// Faults, when set, is consulted at the executor's fault sites
+	// (currently faults.SiteDeadline); nil injects nothing.
+	Faults *faults.Injector
+	// Deadline is the virtual-time budget for one Run (0 = unlimited).
+	// The budget starts when Run is called and is checked before every
+	// operator's next, so an expired query stops within one batch.
+	Deadline time.Duration
 
 	traceDepth int
+	dl         *deadlineState
 }
 
 func (c *Context) batchSize() int {
@@ -44,6 +54,7 @@ func (c *Context) batchSize() int {
 
 // Run executes the plan to completion and returns all result rows.
 func Run(ctx *Context, n plan.Node) (*types.Batch, error) {
+	ctx.armDeadline()
 	it, err := build(ctx, n)
 	if err != nil {
 		return nil, err
@@ -69,6 +80,21 @@ type iterator interface {
 }
 
 func build(ctx *Context, n plan.Node) (iterator, error) {
+	it, err := buildTraced(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.dl == nil {
+		return it, nil
+	}
+	// Every operator's next first checks the shared deadline state, so
+	// cancellation and deadline expiry propagate within one batch even
+	// through pipeline breakers (whose guarded inputs abort their
+	// internal drain loops).
+	return &guardIter{dl: ctx.dl, in: it}, nil
+}
+
+func buildTraced(ctx *Context, n plan.Node) (iterator, error) {
 	if ctx.Trace != nil {
 		stat := ctx.Trace.register(ctx.traceDepth, n.Describe())
 		ctx.traceDepth++
@@ -440,8 +466,20 @@ func (a *applyIter) flush() error {
 	if rows == nil && len(keys) == 0 {
 		return nil
 	}
-	n, err := a.store.Append(rows, keys)
-	if err != nil {
+	// A transient write fault leaves the view rolled back to its
+	// pre-append state (storage.View.Append is atomic), so retrying the
+	// whole batch is safe; backoff is charged like UDF retries.
+	var n int
+	for attempt := 1; ; attempt++ {
+		var err error
+		n, err = a.store.Append(rows, keys)
+		if err == nil {
+			break
+		}
+		if faults.IsTransient(err) && attempt < costs.RetryMaxAttempts {
+			a.ctx.Clock.Charge(simclock.CatRetry, costs.RetryBackoff(attempt+1))
+			continue
+		}
 		return fmt.Errorf("exec: materialize view %s: %w", a.store.Name(), err)
 	}
 	a.ctx.Clock.ChargePerTuple(simclock.CatMaterialize, costs.MatRowCost, n+len(keys))

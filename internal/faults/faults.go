@@ -1,0 +1,295 @@
+// Package faults is EVA's deterministic fault-injection framework.
+// An Injector is seeded once and thereafter makes every injection
+// decision from its own PRNG state and per-site call counters — never
+// from wall time — so a (seed, workload) pair replays the exact same
+// fault schedule on every machine. The resilience machinery it
+// exercises lives next to the fault sites: UDF retry and circuit
+// breaking in internal/udf, crash-safe view appends in
+// internal/storage, and query deadlines in internal/exec.
+//
+// Sites are hierarchical strings ("udf:yolotiny",
+// "view:write:udf_x_frame"). Rules attach to an exact site or, with a
+// trailing "*", to every site sharing the prefix. A nil *Injector is
+// valid everywhere and injects nothing, so production call sites need
+// no guards.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an injected fault by how the victim may react.
+//
+// lint:exhaustive
+type Kind int
+
+// Fault kinds.
+const (
+	// Transient faults model recoverable blips (model server hiccup,
+	// EAGAIN on a write): the victim should retry with backoff.
+	Transient Kind = iota
+	// Permanent faults model persistent breakage (model crashed, disk
+	// full): retrying is futile and the error must surface.
+	Permanent
+	// Crash faults model a process kill mid-operation. Storage write
+	// sites translate them into short (torn) writes; the operation
+	// must not apply any in-memory effects.
+	Crash
+)
+
+// String returns the display name.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is the error injected at a fault site.
+type Fault struct {
+	Site string // the site that fired
+	Kind Kind
+	Call int // 1-based ordinal of the call at the site
+	// Short is the number of payload bytes a write-site crash lets
+	// through before the simulated kill (meaningful for Crash only).
+	Short int
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("injected %s fault at %s (call %d)", f.Kind, f.Site, f.Call)
+}
+
+// IsTransient reports whether err carries a transient injected fault.
+func IsTransient(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Kind == Transient
+}
+
+// IsCrash reports whether err carries a crash injected fault.
+func IsCrash(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Kind == Crash
+}
+
+// AsFault extracts the injected fault from an error chain.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// Rule configures when a site injects. A rule fires on a call when the
+// call's 1-based ordinal is listed in At, or — when At is empty — with
+// probability Prob drawn from the injector's seeded PRNG. Limit caps
+// the number of times the rule fires (0 = unlimited).
+type Rule struct {
+	Kind Kind
+	Prob float64
+	At   []int
+	// Limit caps total injections from this rule; 0 means unlimited.
+	Limit int
+	// ShortWrite is the number of payload bytes to let through before
+	// a Crash fault at a write site; it is clamped to the payload.
+	ShortWrite int
+
+	fired int
+}
+
+// Event records one injection, for assertions and sweep reports.
+type Event struct {
+	Site string
+	Kind Kind
+	Call int
+}
+
+// siteRule is one registered rule with its site pattern. Rules are
+// kept in registration order: probabilistic rules consume PRNG draws,
+// so a deterministic match order is part of the replay contract.
+type siteRule struct {
+	pat string
+	r   *Rule
+}
+
+// Injector decides fault injection deterministically. The zero value
+// and the nil pointer inject nothing.
+type Injector struct {
+	mu    sync.Mutex
+	rng   uint64         // splitmix64 state, guarded by mu
+	rules []siteRule     // guarded by mu; registration order
+	calls map[string]int // guarded by mu
+	log   []Event        // guarded by mu
+}
+
+// New returns an injector whose probabilistic decisions derive only
+// from seed and the deterministic order of site calls.
+func New(seed uint64) *Injector {
+	return &Injector{rng: seed, calls: map[string]int{}}
+}
+
+// Rule attaches a rule to a site. A site ending in "*" matches every
+// site that starts with the prefix before the star.
+func (i *Injector) Rule(site string, r Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.calls == nil {
+		i.calls = map[string]int{}
+	}
+	rc := r
+	i.rules = append(i.rules, siteRule{pat: site, r: &rc})
+}
+
+// next draws the next PRNG value (splitmix64; Steele et al. 2014).
+// Callers must hold mu.
+func (i *Injector) nextLocked() uint64 {
+	i.rng += 0x9e3779b97f4a7c15
+	z := i.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nextFloat draws a uniform float in [0, 1). Callers must hold mu.
+func (i *Injector) nextFloatLocked() float64 {
+	return float64(i.nextLocked()>>11) / float64(1<<53)
+}
+
+// matches reports whether the pattern covers the site (exact, or
+// prefix when the pattern ends in "*").
+func matches(pat, site string) bool {
+	if n := len(pat); n > 0 && pat[n-1] == '*' {
+		return strings.HasPrefix(site, pat[:n-1])
+	}
+	return pat == site
+}
+
+// Check consults the site's rules and returns an injected *Fault or
+// nil. Every call advances the site's ordinal, whether or not a rule
+// fires, so scripted At ordinals are stable under added rules.
+func (i *Injector) Check(site string) error {
+	f := i.decide(site)
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+// CheckWrite is Check for write sites carrying an n-byte payload. For
+// Crash faults it returns the number of payload bytes the torn write
+// lets through (rule.ShortWrite clamped to n; a scripted value past
+// the payload end degrades to a full write followed by the kill).
+func (i *Injector) CheckWrite(site string, n int) (short int, err error) {
+	f := i.decide(site)
+	if f == nil {
+		return n, nil
+	}
+	if f.Kind == Crash {
+		s := f.Short
+		if s > n {
+			s = n
+		}
+		if s < 0 {
+			s = 0
+		}
+		f.Short = s
+		return s, f
+	}
+	return 0, f
+}
+
+// decide runs the rule machinery for one call at a site.
+func (i *Injector) decide(site string) *Fault {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if len(i.rules) == 0 {
+		return nil
+	}
+	if i.calls == nil {
+		i.calls = map[string]int{}
+	}
+	i.calls[site]++
+	call := i.calls[site]
+	for _, sr := range i.rules {
+		if !matches(sr.pat, site) {
+			continue
+		}
+		r := sr.r
+		if r.Limit > 0 && r.fired >= r.Limit {
+			continue
+		}
+		hit := false
+		if len(r.At) > 0 {
+			for _, at := range r.At {
+				if at == call {
+					hit = true
+					break
+				}
+			}
+		} else if r.Prob > 0 {
+			hit = i.nextFloatLocked() < r.Prob
+		}
+		if !hit {
+			continue
+		}
+		r.fired++
+		i.log = append(i.log, Event{Site: site, Kind: r.Kind, Call: call})
+		return &Fault{Site: site, Kind: r.Kind, Call: call, Short: r.ShortWrite}
+	}
+	return nil
+}
+
+// Calls returns how many times the site was consulted.
+func (i *Injector) Calls(site string) int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.calls[site]
+}
+
+// Events returns a copy of the injection log in firing order.
+func (i *Injector) Events() []Event {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]Event(nil), i.log...)
+}
+
+// Injected returns the total number of injections so far.
+func (i *Injector) Injected() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.log)
+}
+
+// Site name constructors shared by the engine's fault sites, so tests
+// and production code cannot drift apart on spelling.
+
+// SiteUDF is the evaluation site of a physical model.
+func SiteUDF(model string) string { return "udf:" + strings.ToLower(model) }
+
+// SiteViewWrite is the log-append site of a materialized view.
+func SiteViewWrite(view string) string { return "view:write:" + strings.ToLower(view) }
+
+// SiteDeadline is the query-deadline site checked by the executor.
+const SiteDeadline = "exec:deadline"

@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Check("udf:x"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	short, err := inj.CheckWrite("view:write:x", 10)
+	if err != nil || short != 10 {
+		t.Fatalf("nil injector write = (%d, %v)", short, err)
+	}
+	if inj.Calls("udf:x") != 0 || inj.Injected() != 0 || inj.Events() != nil {
+		t.Fatal("nil injector accumulated state")
+	}
+}
+
+func TestScriptedOrdinals(t *testing.T) {
+	inj := New(1)
+	inj.Rule("udf:m", Rule{Kind: Transient, At: []int{2, 4}})
+	var got []int
+	for call := 1; call <= 5; call++ {
+		if err := inj.Check("udf:m"); err != nil {
+			f, ok := AsFault(err)
+			if !ok {
+				t.Fatalf("call %d: not a *Fault: %v", call, err)
+			}
+			if f.Call != call || f.Site != "udf:m" {
+				t.Errorf("fault = %+v at call %d", f, call)
+			}
+			got = append(got, call)
+		}
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("fired at %v, want [2 4]", got)
+	}
+	if inj.Calls("udf:m") != 5 {
+		t.Errorf("calls = %d", inj.Calls("udf:m"))
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	inj := New(7)
+	inj.Rule("a", Rule{Kind: Transient, At: []int{1}})
+	inj.Rule("b", Rule{Kind: Permanent, At: []int{1}})
+	inj.Rule("c", Rule{Kind: Crash, At: []int{1}})
+	at := inj.Check("a")
+	bt := inj.Check("b")
+	ct := inj.Check("c")
+	if !IsTransient(at) || IsTransient(bt) || IsTransient(ct) {
+		t.Error("IsTransient misclassified")
+	}
+	if IsCrash(at) || IsCrash(bt) || !IsCrash(ct) {
+		t.Error("IsCrash misclassified")
+	}
+	// Predicates see through wrapping.
+	wrapped := fmt.Errorf("udf: YoloTiny: %w", at)
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient fault not recognized")
+	}
+	if _, ok := AsFault(errors.New("plain")); ok {
+		t.Error("plain error misread as fault")
+	}
+}
+
+func TestWildcardPrefixMatch(t *testing.T) {
+	inj := New(3)
+	inj.Rule("view:write:*", Rule{Kind: Permanent, At: []int{1}})
+	if err := inj.Check("view:write:udf_cartype"); err == nil {
+		t.Fatal("wildcard rule did not fire")
+	}
+	if err := inj.Check("udf:cartype"); err != nil {
+		t.Fatalf("wildcard rule leaked to other site: %v", err)
+	}
+}
+
+func TestCrashShortWriteClamped(t *testing.T) {
+	inj := New(9)
+	inj.Rule("w", Rule{Kind: Crash, At: []int{1}, ShortWrite: 100})
+	short, err := inj.CheckWrite("w", 8)
+	if !IsCrash(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if short != 8 {
+		t.Fatalf("short = %d, want clamp to 8", short)
+	}
+	// Non-crash faults block the whole write.
+	inj2 := New(9)
+	inj2.Rule("w", Rule{Kind: Transient, At: []int{1}})
+	short, err = inj2.CheckWrite("w", 8)
+	if short != 0 || !IsTransient(err) {
+		t.Fatalf("transient write = (%d, %v)", short, err)
+	}
+}
+
+func TestLimitCapsFirings(t *testing.T) {
+	inj := New(2)
+	inj.Rule("s", Rule{Kind: Transient, Prob: 1, Limit: 3})
+	fired := 0
+	for k := 0; k < 10; k++ {
+		if inj.Check("s") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if inj.Injected() != 3 || len(inj.Events()) != 3 {
+		t.Errorf("log = %v", inj.Events())
+	}
+}
+
+// TestSeededReplayIsDeterministic is the framework's core contract:
+// the same seed and the same call sequence yield the same schedule,
+// and different seeds yield different ones.
+func TestSeededReplayIsDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []Event {
+		inj := New(seed)
+		inj.Rule("udf:*", Rule{Kind: Transient, Prob: 0.3})
+		inj.Rule("view:write:*", Rule{Kind: Permanent, Prob: 0.1})
+		for k := 0; k < 200; k++ {
+			inj.Check("udf:a")
+			inj.Check("udf:b")
+			inj.CheckWrite("view:write:v", 64)
+		}
+		return inj.Events()
+	}
+	a1, a2 := schedule(42), schedule(42)
+	if len(a1) == 0 {
+		t.Fatal("no faults fired at p=0.3 over 600 calls")
+	}
+	if fmt.Sprint(a1) != fmt.Sprint(a2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if b := schedule(43); fmt.Sprint(a1) == fmt.Sprint(b) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestProbabilityRoughlyCalibrated(t *testing.T) {
+	inj := New(11)
+	inj.Rule("s", Rule{Kind: Transient, Prob: 0.5})
+	fired := 0
+	const n = 2000
+	for k := 0; k < n; k++ {
+		if inj.Check("s") != nil {
+			fired++
+		}
+	}
+	if fired < n/3 || fired > 2*n/3 {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, n)
+	}
+}

@@ -117,6 +117,9 @@ type Report struct {
 	DetectorSources []string
 	Preds           map[string]PredInfo
 	OptimizeTime    time.Duration
+	// Degraded lists logical bindings that passed over models with
+	// open circuit breakers (graceful degradation, in decision order).
+	Degraded []Degradation
 }
 
 // Result is an optimized statement.
@@ -130,6 +133,10 @@ type Optimizer struct {
 	Cat   *catalog.Catalog
 	Mgr   *udf.Manager
 	Clock *simclock.Clock
+	// Health, when set, gates eval-model selection on circuit-breaker
+	// state and feeds observed failure rates into the Eq. 3 cost model
+	// (nil = every model healthy, costs unadjusted).
+	Health HealthView
 }
 
 // New returns an optimizer over the catalog and UDF manager.
@@ -299,7 +306,7 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 		if err != nil {
 			return nil, fmt.Errorf("optimizer: %w", err)
 		}
-		def, err = o.resolveScalarPhysical(call, def)
+		def, err = o.resolveScalarPhysical(call, def, &report)
 		if err != nil {
 			return nil, err
 		}
@@ -441,8 +448,10 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 }
 
 // resolveScalarPhysical maps a logical scalar UDF reference to the
-// cheapest physical UDF satisfying the call's accuracy property.
-func (o *Optimizer) resolveScalarPhysical(call *expr.Call, def *catalog.UDF) (*catalog.UDF, error) {
+// cheapest healthy physical UDF satisfying the call's accuracy
+// property (retry-adjusted cost; models with open breakers are passed
+// over).
+func (o *Optimizer) resolveScalarPhysical(call *expr.Call, def *catalog.UDF, report *Report) (*catalog.UDF, error) {
 	if def.Kind == catalog.KindScalarUDF && strings.EqualFold(def.Name, call.Fn) && call.Accuracy == "" {
 		return def, nil
 	}
@@ -458,7 +467,11 @@ func (o *Optimizer) resolveScalarPhysical(call *expr.Call, def *catalog.UDF) (*c
 	if len(cands) == 0 {
 		return def, nil
 	}
-	return cands[0], nil
+	chosen := o.pickEval(def.LogicalType, cands, report)
+	if chosen == nil {
+		return nil, fmt.Errorf("optimizer: every physical UDF implementing %s is unavailable (circuit breakers open)", def.LogicalType)
+	}
+	return chosen, nil
 }
 
 func isAggregate(fn string) bool {

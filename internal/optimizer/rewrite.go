@@ -51,7 +51,9 @@ func (o *Optimizer) rankCalls(calls []*scalarCall, gate symbolic.DNF, stats symb
 		}
 		sc.relDiff = relDiff
 
-		ce := sc.def.Cost.Seconds()
+		// Retry-adjusted Eq. 3 cost: a flaky model's expected retries
+		// and backoff count against it in the ranking.
+		ce := o.evalCost(sc.def)
 		cr := costs.ScalarViewReadCost.Seconds()
 		switch mode.Ranking {
 		case RankMaterializationAware:
@@ -164,7 +166,14 @@ func (o *Optimizer) applyDetector(node plan.Node, apply *parser.ApplyClause, gat
 		if len(cands) == 0 {
 			return nil, fmt.Errorf("optimizer: no physical UDF implements %s with accuracy ≥ %s", apply.Fn, minAcc)
 		}
-		cheapest := cands[0]
+		// Graceful degradation: the eval target must be healthy (its
+		// breaker closed) and cheapest by retry-adjusted cost; view
+		// sources below are deliberately not filtered, since reading a
+		// broken model's materialized results is safe.
+		cheapest := o.pickEval(apply.Fn, cands, report)
+		if cheapest == nil {
+			return nil, fmt.Errorf("optimizer: every physical UDF implementing %s is unavailable (circuit breakers open)", apply.Fn)
+		}
 		switch {
 		case mode.Logical == LogicalMinCostNoReuse || !mode.Reuse:
 			evalUDF = cheapest
@@ -174,7 +183,7 @@ func (o *Optimizer) applyDetector(node plan.Node, apply *parser.ApplyClause, gat
 			sources = append(sources, plan.ApplySource{UDF: cheapest.Name, ViewName: sig.ViewName()})
 		default: // LogicalEVA: Algorithm 2
 			evalUDF = cheapest
-			sources = o.selectPhysicalUDFs(cands, apply.Args, gate, stats, mode)
+			sources = o.selectPhysicalUDFs(cheapest, cands, apply.Args, gate, stats, mode)
 		}
 	}
 

@@ -17,7 +17,7 @@ import (
 // symbolically by the selectivity of INTER(p_x, q); and the weight is
 // the cost of reading the view. Views are picked while their cost per
 // uncovered tuple beats evaluating the cheapest physical UDF.
-func (o *Optimizer) selectPhysicalUDFs(cands []*catalog.UDF, args []expr.Expr, q symbolic.DNF, stats symbolic.Stats, mode Mode) []plan.ApplySource {
+func (o *Optimizer) selectPhysicalUDFs(eval *catalog.UDF, cands []*catalog.UDF, args []expr.Expr, q symbolic.DNF, stats symbolic.Stats, mode Mode) []plan.ApplySource {
 	type cand struct {
 		def *catalog.UDF
 		sig udf.Signature
@@ -28,7 +28,10 @@ func (o *Optimizer) selectPhysicalUDFs(cands []*catalog.UDF, args []expr.Expr, q
 		sig := udf.NewSignature(def.Name, args)
 		xs = append(xs, cand{def: def, sig: sig, agg: o.Mgr.AggOf(sig)})
 	}
-	cy := cands[0].Cost.Seconds() // cheapest UDF's per-tuple cost (line 3)
+	// The alternative to reading a view is evaluating the chosen model:
+	// its per-tuple cost (line 3), retry-adjusted so a flaky evaluator
+	// makes view reuse comparatively more attractive.
+	cy := o.evalCost(eval)
 	cr := costs.TableViewReadCost.Seconds()
 
 	var out []plan.ApplySource

@@ -127,7 +127,7 @@ func TestGreedyMatchesExhaustiveOnSmallInstances(t *testing.T) {
 		}
 		q := rangeDNF(t, sc.qLo, sc.qHi)
 		cands := h.cat.UDFsForLogical("ObjectDetector", vision.AccuracyLow)
-		greedySources := h.opt.selectPhysicalUDFs(cands, []expr.Expr{expr.NewColumn("frame")}, q, stats, EVAMode())
+		greedySources := h.opt.selectPhysicalUDFs(cands[0], cands, []expr.Expr{expr.NewColumn("frame")}, q, stats, EVAMode())
 
 		greedyCost := coverCost(h, greedySources, q, stats)
 		bestCost := math.Inf(1)

@@ -29,6 +29,7 @@ const (
 	CatOptimize                    // optimizer analysis and rewriting
 	CatApply                       // apply-operator bookkeeping for reuse
 	CatHash                        // FunCache argument hashing
+	CatRetry                       // backoff waits between UDF retry attempts
 	CatOther                       // joins, crops, parser, everything else
 	numCategories
 )
@@ -50,6 +51,8 @@ func (c Category) String() string {
 		return "Apply"
 	case CatHash:
 		return "Hash"
+	case CatRetry:
+		return "Retry"
 	case CatOther:
 		return "Other"
 	default:

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"eva/internal/faults"
 	"eva/internal/types"
 	"eva/internal/vision"
 )
@@ -31,6 +32,7 @@ type Engine struct {
 	mu     sync.Mutex
 	videos map[string]*Video // guarded by mu
 	views  map[string]*View  // guarded by mu
+	inj    *faults.Injector  // guarded by mu
 }
 
 // Open creates (or reopens) a storage engine rooted at dir.
@@ -45,6 +47,18 @@ func Open(dir string) (*Engine, error) {
 
 // Root returns the engine's directory.
 func (e *Engine) Root() string { return e.root }
+
+// SetInjector installs the fault injector consulted on every view
+// write (nil disables injection). It applies to existing views and to
+// views created later.
+func (e *Engine) SetInjector(inj *faults.Injector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.inj = inj
+	for _, v := range e.views {
+		v.setInjector(inj)
+	}
+}
 
 // CreateVideo registers a video table backed by the synthetic dataset.
 // Frames are materialized to disk segments lazily on first scan.
@@ -92,7 +106,7 @@ func (e *Engine) CreateView(name string, schema types.Schema, keyCols []string) 
 			return nil, fmt.Errorf("storage: view %q: key column %q not in schema %s", name, kc, schema)
 		}
 	}
-	v, err := openView(filepath.Join(e.root, "views", sanitize(key)+".view"), name, schema, keyCols)
+	v, err := openView(filepath.Join(e.root, "views", sanitize(key)+".view"), name, schema, keyCols, e.inj)
 	if err != nil {
 		return nil, err
 	}

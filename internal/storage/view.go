@@ -6,7 +6,9 @@ import (
 	"os"
 	"sync"
 
+	"eva/internal/faults"
 	"eva/internal/types"
+	"eva/internal/xxhash"
 )
 
 // View is an append-only materialized view of UDF results. Rows carry
@@ -15,13 +17,19 @@ import (
 // zero rows (e.g. frames with no detections) are not re-evaluated.
 //
 // The view persists every append to its backing file and rebuilds its
-// in-memory index when reopened.
+// in-memory index when reopened. Appends are crash-safe: the log
+// record is built and written to disk *before* any in-memory state
+// changes, every record carries an xxhash64 checksum, and replay
+// truncates a torn tail (a record cut short by a crash) back to the
+// last complete record. Because appends are idempotent per key, a
+// re-run STORE after recovery converges to the uninterrupted state.
 type View struct {
 	name    string
 	path    string
 	schema  types.Schema
 	keyCols []string
 	keyIdx  []int
+	site    string // fault-injection site name
 
 	mu        sync.RWMutex
 	batch     *types.Batch        // guarded by mu
@@ -29,37 +37,63 @@ type View struct {
 	processed map[string]struct{} // guarded by mu
 	file      *os.File            // guarded by mu
 	footprint int64               // guarded by mu
+	dead      bool                // guarded by mu; simulated crash hit this view
+	recovered int64               // guarded by mu; torn-tail bytes dropped at open
+	inj       *faults.Injector    // guarded by mu
 }
 
-// View file format: header (magic, version, schema, key columns)
-// followed by records. Record kinds: rows (encoded datum rows) and
-// processed-keys (encoded key tuples).
+// View file format v2: header (magic, version, schema, key columns)
+// followed by self-verifying records:
+//
+//	[kind:1][count:4][payloadLen:4][payload][sum:8]
+//
+// where sum = xxhash64 over the bytes from kind through payload.
+// Record kinds: rows (encoded datum rows) and processed-keys (encoded
+// key tuples). Version 1 (no checksums) is no longer readable; views
+// are rebuilt from UDF evaluation, so an unsupported version is
+// surfaced as an error rather than migrated.
 const (
 	viewMagic   = 0x45564156 // "EVAV"
-	viewVersion = 1
+	viewVersion = 2
 
 	recRows = 1
 	recKeys = 2
+
+	// recHeaderLen is kind + count + payloadLen; recSumLen the
+	// trailing checksum.
+	recHeaderLen = 9
+	recSumLen    = 8
 )
 
-func openView(path, name string, schema types.Schema, keyCols []string) (*View, error) {
+func openView(path, name string, schema types.Schema, keyCols []string, inj *faults.Injector) (*View, error) {
 	v := &View{
 		name:      name,
 		path:      path,
 		schema:    schema.Clone(),
 		keyCols:   append([]string(nil), keyCols...),
+		site:      faults.SiteViewWrite(name),
 		batch:     types.NewBatch(schema.Clone()),
 		rowsByKey: map[string][]int{},
 		processed: map[string]struct{}{},
+		inj:       inj,
 	}
 	for _, kc := range keyCols {
 		v.keyIdx = append(v.keyIdx, schema.IndexOf(kc))
 	}
 	if data, err := os.ReadFile(path); err == nil {
-		if err := v.replay(data); err != nil {
+		valid, err := v.replay(data)
+		if err != nil {
 			return nil, fmt.Errorf("storage: view %s: %w", name, err)
 		}
-		v.footprint = int64(len(data))
+		if valid < len(data) {
+			// Torn tail (crash mid-append): drop the incomplete suffix
+			// so the log ends on a record boundary again.
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("storage: view %s: truncate torn tail: %w", name, err)
+			}
+			v.recovered = int64(len(data) - valid)
+		}
+		v.footprint = int64(valid)
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
@@ -94,12 +128,30 @@ func (v *View) encodeHeader() []byte {
 	return buf
 }
 
-func (v *View) replay(data []byte) error {
+// sealRecord appends one checksummed record to buf.
+func sealRecord(buf []byte, kind byte, count int, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(count))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	sum := xxhash.Sum64(buf[start:], 0)
+	return binary.LittleEndian.AppendUint64(buf, sum)
+}
+
+// replay rebuilds in-memory state from the log. It returns the number
+// of bytes holding the recoverable prefix: header parse errors and
+// mid-file corruption are hard errors, while an incomplete or
+// checksum-failing *tail* record (the signature of a crash mid-append)
+// stops replay at the last good boundary so the caller can truncate.
+// It runs inside openView before the view is published, so it may
+// touch guarded fields without the lock.
+func (v *View) replay(data []byte) (int, error) {
 	if len(data) < 6 || binary.LittleEndian.Uint32(data) != viewMagic {
-		return fmt.Errorf("bad view header")
+		return 0, fmt.Errorf("bad view header")
 	}
 	if data[4] != viewVersion {
-		return fmt.Errorf("unsupported view version %d", data[4])
+		return 0, fmt.Errorf("unsupported view version %d", data[4])
 	}
 	off := 5
 	ncols := int(data[off])
@@ -107,68 +159,118 @@ func (v *View) replay(data []byte) error {
 	var schema types.Schema
 	for i := 0; i < ncols; i++ {
 		if off+2 > len(data) {
-			return fmt.Errorf("truncated schema")
+			return 0, fmt.Errorf("truncated schema")
 		}
 		kind := types.Kind(data[off])
 		nameLen := int(data[off+1])
 		off += 2
 		if off+nameLen > len(data) {
-			return fmt.Errorf("truncated column name")
+			return 0, fmt.Errorf("truncated column name")
 		}
 		schema = append(schema, types.Column{Name: string(data[off : off+nameLen]), Kind: kind})
 		off += nameLen
 	}
 	if !schema.Equal(v.schema) {
-		return fmt.Errorf("schema mismatch: file has %s, want %s", schema, v.schema)
+		return 0, fmt.Errorf("schema mismatch: file has %s, want %s", schema, v.schema)
+	}
+	if off >= len(data) {
+		return 0, fmt.Errorf("truncated key columns")
 	}
 	nkeys := int(data[off])
 	off++
+	if nkeys != len(v.keyCols) {
+		return 0, fmt.Errorf("key count mismatch: file has %d, want %d", nkeys, len(v.keyCols))
+	}
 	for i := 0; i < nkeys; i++ {
+		if off >= len(data) {
+			return 0, fmt.Errorf("truncated key column length")
+		}
 		klen := int(data[off])
 		off++
+		if off+klen > len(data) {
+			return 0, fmt.Errorf("truncated key column name")
+		}
 		off += klen // names validated via schema equality; skip
 	}
+
 	for off < len(data) {
+		// A record that does not fit or fails its checksum is a torn
+		// tail: recover the prefix. (Corruption strictly *inside* the
+		// file followed by valid records cannot be distinguished from
+		// a tear cheaply, and truncating there still yields a
+		// consistent prefix — idempotent re-STORE refills the rest.)
+		if off+recHeaderLen+recSumLen > len(data) {
+			return off, nil
+		}
 		kind := data[off]
-		off++
-		if off+4 > len(data) {
-			return fmt.Errorf("truncated record header")
+		count := int(binary.LittleEndian.Uint32(data[off+1:]))
+		paylen := int(binary.LittleEndian.Uint32(data[off+5:]))
+		if paylen < 0 || count < 0 {
+			return off, nil
 		}
-		count := int(binary.LittleEndian.Uint32(data[off:]))
-		off += 4
-		switch kind {
-		case recRows:
-			row := make([]types.Datum, len(v.schema))
-			for r := 0; r < count; r++ {
-				for c := range row {
-					d, n, err := types.DecodeDatum(data[off:])
-					if err != nil {
-						return fmt.Errorf("row record: %w", err)
-					}
-					row[c] = d
-					off += n
-				}
-				v.appendRowLocked(row)
-			}
-		case recKeys:
-			key := make([]types.Datum, len(v.keyCols))
-			for r := 0; r < count; r++ {
-				for c := range key {
-					d, n, err := types.DecodeDatum(data[off:])
-					if err != nil {
-						return fmt.Errorf("key record: %w", err)
-					}
-					key[c] = d
-					off += n
-				}
-				// lint:nolock replay runs inside openView before the view is published
-				v.processed[encodeKey(key)] = struct{}{}
-			}
-		default:
-			return fmt.Errorf("unknown record kind %d", kind)
+		end := off + recHeaderLen + paylen + recSumLen
+		if end < off || end > len(data) {
+			return off, nil
 		}
+		sum := binary.LittleEndian.Uint64(data[end-recSumLen:])
+		if xxhash.Sum64(data[off:end-recSumLen], 0) != sum {
+			return off, nil
+		}
+		payload := data[off+recHeaderLen : end-recSumLen]
+		if err := v.replayRecord(kind, count, payload); err != nil {
+			// The checksum matched but the payload is undecodable:
+			// a writer bug or deliberate corruption, not a crash.
+			return 0, err
+		}
+		off = end
+	}
+	return off, nil
+}
+
+// replayRecord decodes one verified record payload into memory.
+func (v *View) replayRecord(kind byte, count int, payload []byte) error {
+	off := 0
+	switch kind {
+	case recRows:
+		row := make([]types.Datum, len(v.schema))
+		for r := 0; r < count; r++ {
+			for c := range row {
+				d, n, err := types.DecodeDatum(payload[off:])
+				if err != nil {
+					return fmt.Errorf("row record: %w", err)
+				}
+				row[c] = d
+				off += n
+			}
+			v.appendRowLocked(row)
+		}
+	case recKeys:
+		key := make([]types.Datum, len(v.keyCols))
+		for r := 0; r < count; r++ {
+			for c := range key {
+				d, n, err := types.DecodeDatum(payload[off:])
+				if err != nil {
+					return fmt.Errorf("key record: %w", err)
+				}
+				key[c] = d
+				off += n
+			}
+			// lint:nolock replay runs inside openView before the view is published
+			v.processed[encodeKey(key)] = struct{}{}
+		}
+	default:
+		return fmt.Errorf("unknown record kind %d", kind)
+	}
+	if off != len(payload) {
+		return fmt.Errorf("record kind %d: %d trailing payload bytes", kind, len(payload)-off)
 	}
 	return nil
+}
+
+func (v *View) setInjector(inj *faults.Injector) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.inj = inj
 }
 
 // Name returns the view name.
@@ -179,6 +281,14 @@ func (v *View) Schema() types.Schema { return v.schema }
 
 // KeyColumns returns the key column names.
 func (v *View) KeyColumns() []string { return v.keyCols }
+
+// RecoveredBytes returns the size of the torn tail dropped when the
+// view was opened (0 for a clean log).
+func (v *View) RecoveredBytes() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.recovered
+}
 
 // encodeKey canonically encodes a key tuple for index lookups.
 func encodeKey(key []types.Datum) string {
@@ -214,20 +324,37 @@ func (v *View) appendRowLocked(row []types.Datum) {
 // processed are skipped — appends are idempotent per key, which keeps
 // the STORE operator safe to re-run. It returns the number of new rows
 // stored and persists the append.
+//
+// Ordering contract: the log record reaches disk before any in-memory
+// state changes. On a write error the partial write is rolled back
+// (file truncated to its pre-append length) and memory is untouched,
+// so memory can never run ahead of disk; on a simulated crash the
+// view is marked dead and the torn tail is left for recovery at the
+// next open.
 func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, error) {
 	if rows != nil && !rows.Schema().Equal(v.schema) {
 		return 0, fmt.Errorf("storage: view %s: append schema %s, want %s", v.name, rows.Schema(), v.schema)
 	}
+	for _, key := range processedKeys {
+		if len(key) != len(v.keyCols) {
+			return 0, fmt.Errorf("storage: view %s: key width %d, want %d", v.name, len(key), len(v.keyCols))
+		}
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if v.dead {
+		return 0, fmt.Errorf("storage: view %s: unusable after simulated crash", v.name)
+	}
 
+	// Phase 1 (pure): decide which rows and keys are new and encode
+	// the log record. No in-memory state changes yet.
 	var rowBuf []byte
-	newRows := 0
+	var newRowIdx []int
 	if rows != nil {
 		// A row is stored iff its key was unprocessed when this call
 		// began. newKeys lets sibling rows of a key introduced by this
-		// very batch through, even though appendRowLocked marks the key
-		// processed as soon as the first sibling lands.
+		// very batch through, even though the key becomes processed as
+		// soon as the first sibling lands.
 		newKeys := map[string]struct{}{}
 		for r := 0; r < rows.Len(); r++ {
 			key := v.rowKey(rows, r)
@@ -237,50 +364,98 @@ func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, er
 				}
 			}
 			newKeys[key] = struct{}{}
-			row := rows.Row(r)
-			v.appendRowLocked(row)
-			for _, d := range row {
+			newRowIdx = append(newRowIdx, r)
+			for _, d := range rows.Row(r) {
 				rowBuf = d.AppendBinary(rowBuf)
 			}
-			newRows++
 		}
 	}
 
 	var keyBuf []byte
-	newKeyCount := 0
-	for _, key := range processedKeys {
-		if len(key) != len(v.keyCols) {
-			return newRows, fmt.Errorf("storage: view %s: key width %d, want %d", v.name, len(key), len(v.keyCols))
-		}
+	var newKeyIdx []int
+	for ki, key := range processedKeys {
 		ek := encodeKey(key)
 		if _, done := v.processed[ek]; done {
 			continue
 		}
-		v.processed[ek] = struct{}{}
+		newKeyIdx = append(newKeyIdx, ki)
 		for _, d := range key {
 			keyBuf = d.AppendBinary(keyBuf)
 		}
-		newKeyCount++
 	}
 
 	var out []byte
-	if newRows > 0 {
-		out = append(out, recRows)
-		out = binary.LittleEndian.AppendUint32(out, uint32(newRows))
-		out = append(out, rowBuf...)
+	if len(newRowIdx) > 0 {
+		out = sealRecord(out, recRows, len(newRowIdx), rowBuf)
 	}
-	if newKeyCount > 0 {
-		out = append(out, recKeys)
-		out = binary.LittleEndian.AppendUint32(out, uint32(newKeyCount))
-		out = append(out, keyBuf...)
+	if len(newKeyIdx) > 0 {
+		out = sealRecord(out, recKeys, len(newKeyIdx), keyBuf)
 	}
-	if len(out) > 0 {
-		if _, err := v.file.Write(out); err != nil {
-			return newRows, fmt.Errorf("storage: view %s: %w", v.name, err)
-		}
+	if len(out) == 0 {
+		return 0, nil
+	}
+
+	// Phase 2: disk. A failure here leaves memory exactly as it was.
+	if err := v.writeLocked(out); err != nil {
+		return 0, err
+	}
+
+	// Phase 3: memory, now that the record is durable.
+	for _, r := range newRowIdx {
+		v.appendRowLocked(rows.Row(r))
+	}
+	for _, ki := range newKeyIdx {
+		v.processed[encodeKey(processedKeys[ki])] = struct{}{}
+	}
+	return len(newRowIdx), nil
+}
+
+// writeLocked appends the encoded record to the log, consulting the
+// fault injector. Short or failed writes are rolled back by truncating
+// to the pre-append length; a simulated crash leaves the torn tail on
+// disk and kills the view. Callers must hold mu.
+func (v *View) writeLocked(out []byte) error {
+	if v.file == nil {
+		return fmt.Errorf("storage: view %s: closed", v.name)
+	}
+	allow := len(out)
+	var injected error
+	if short, ferr := v.inj.CheckWrite(v.site, len(out)); ferr != nil {
+		allow, injected = short, ferr
+	}
+	var wrote int
+	var werr error
+	if allow > 0 {
+		wrote, werr = v.file.Write(out[:allow])
+	}
+	if injected != nil && faults.IsCrash(injected) {
+		// Simulated kill mid-append: whatever reached the file stays
+		// as a torn tail for the next open to recover; this in-process
+		// handle is as dead as the killed process.
+		v.dead = true
+		return fmt.Errorf("storage: view %s: %w", v.name, injected)
+	}
+	if injected == nil && werr == nil && wrote == len(out) {
 		v.footprint += int64(len(out))
+		return nil
 	}
-	return newRows, nil
+	// Failed or short write without a crash: roll the file back so
+	// disk and memory stay in lockstep.
+	if terr := v.file.Truncate(v.footprint); terr != nil {
+		v.dead = true
+		return fmt.Errorf("storage: view %s: rollback after failed write: %v (write error: %v)", v.name, terr, firstErr(injected, werr))
+	}
+	return fmt.Errorf("storage: view %s: %w", v.name, firstErr(injected, werr, fmt.Errorf("short write (%d of %d bytes)", wrote, len(out))))
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Scan returns all stored rows as a read-only snapshot. The snapshot's

@@ -1,0 +1,219 @@
+package udf
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"eva/internal/catalog"
+	"eva/internal/costs"
+	"eva/internal/faults"
+	"eva/internal/simclock"
+)
+
+// ErrModelUnavailable marks an evaluation rejected because the
+// physical model's circuit breaker is open. The core engine treats it
+// as a replanning signal: the optimizer re-runs Algorithm 2's set
+// cover over the remaining healthy models implementing the logical
+// task, so the query degrades to a fallback model instead of failing.
+var ErrModelUnavailable = errors.New("model unavailable (circuit breaker open)")
+
+// ErrEvalFailed marks a UDF invocation that failed even after the
+// retry budget. The failure was charged to the model's circuit
+// breaker, so the engine may re-run the query: either the model
+// recovers, or its breaker opens and the optimizer degrades to a
+// fallback.
+var ErrEvalFailed = errors.New("udf evaluation failed")
+
+// Breaker defaults. A model trips after BreakerThreshold consecutive
+// failed invocations and stays open for BreakerCooldown of *virtual*
+// time; after that a probe invocation is allowed through (half-open)
+// and either closes the breaker or re-arms the cooldown.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// breaker is the per-physical-model circuit-breaker state.
+type breaker struct {
+	consecutive int           // consecutive failed invocations
+	open        bool          // rejecting evaluations
+	openedAt    time.Duration // virtual clock total at trip time
+}
+
+// SetInjector installs the fault injector consulted before every model
+// attempt (nil disables injection).
+func (r *Runtime) SetInjector(inj *faults.Injector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inj = inj
+}
+
+// SetRetryPolicy overrides the retry/breaker parameters; zero values
+// keep the defaults (costs.RetryMaxAttempts attempts,
+// DefaultBreakerThreshold trips, DefaultBreakerCooldown).
+func (r *Runtime) SetRetryPolicy(maxAttempts, breakerThreshold int, cooldown time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retryMax = maxAttempts
+	r.breakThreshold = breakerThreshold
+	r.breakCooldown = cooldown
+}
+
+func (r *Runtime) injector() *faults.Injector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inj
+}
+
+func (r *Runtime) maxAttempts() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.retryMax > 0 {
+		return r.retryMax
+	}
+	return costs.RetryMaxAttempts
+}
+
+// breakerAllow rejects the invocation while the model's breaker is
+// open and its virtual-time cooldown has not elapsed. After the
+// cooldown one probe invocation is let through (half-open).
+func (r *Runtime) breakerAllow(u *catalog.UDF) error {
+	key := strings.ToLower(u.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[key]
+	if b == nil || !b.open {
+		return nil
+	}
+	if r.clock.Total()-b.openedAt >= r.cooldownLocked() {
+		return nil // half-open probe
+	}
+	return fmt.Errorf("udf: %s: %w", u.Name, ErrModelUnavailable)
+}
+
+func (r *Runtime) cooldownLocked() time.Duration {
+	if r.breakCooldown > 0 {
+		return r.breakCooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+func (r *Runtime) thresholdLocked() int {
+	if r.breakThreshold > 0 {
+		return r.breakThreshold
+	}
+	return DefaultBreakerThreshold
+}
+
+// noteOutcome records an invocation-level success or failure for the
+// breaker: consecutive failures trip it, any success closes it.
+func (r *Runtime) noteOutcome(name string, ok bool) {
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[key]
+	if b == nil {
+		b = &breaker{}
+		r.breakers[key] = b
+	}
+	if ok {
+		b.consecutive = 0
+		b.open = false
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= r.thresholdLocked() {
+		b.open = true
+		b.openedAt = r.clock.Total()
+	}
+}
+
+// ModelHealthy reports whether the model accepts evaluations: its
+// breaker is closed, or open but past the cooldown (probe allowed).
+// It implements the optimizer's health view for Algorithm 2's
+// degraded re-cover.
+func (r *Runtime) ModelHealthy(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[strings.ToLower(name)]
+	if b == nil || !b.open {
+		return true
+	}
+	return r.clock.Total()-b.openedAt >= r.cooldownLocked()
+}
+
+// FailureRate returns the observed per-attempt *transient* failure
+// probability of the model (transient failures over total attempts);
+// the optimizer feeds it to costs.RetryAdjustedCost so expected
+// retries show up in the Eq. 3 accounting. Permanent failures are
+// deliberately excluded: they route through the circuit breaker
+// (trip, cooldown, probe) rather than inflating the model's planning
+// cost — otherwise a single hard failure would poison the cost model
+// with no recovery path. A model with no observed attempts reports 0.
+func (r *Runtime) FailureRate(name string) float64 {
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	attempts := r.evals[key] + r.failed[key]
+	if attempts == 0 {
+		return 0
+	}
+	return float64(r.transient[key]) / float64(attempts)
+}
+
+func (r *Runtime) countFailed(name string, isTransient bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := strings.ToLower(name)
+	r.failed[key]++
+	if isTransient {
+		r.transient[key]++
+	}
+}
+
+func (r *Runtime) countRetry(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retried[strings.ToLower(name)]++
+}
+
+// evalResilient runs one UDF invocation with transient-fault retry and
+// circuit breaking. eval performs a single attempt (and must wrap its
+// own errors with the UDF name). Every attempt — failed or not — is
+// charged the model's profiled cost; backoff between attempts is
+// charged to the Retry category so resilience shows up in the
+// simulated-time breakdown.
+func (r *Runtime) evalResilient(u *catalog.UDF, eval func() error) error {
+	if err := r.breakerAllow(u); err != nil {
+		return err
+	}
+	max := r.maxAttempts()
+	site := faults.SiteUDF(u.Name)
+	for attempt := 1; ; attempt++ {
+		r.clock.Charge(simclock.CatUDF, u.Cost)
+		var err error
+		if ferr := r.injector().Check(site); ferr != nil {
+			err = fmt.Errorf("udf: %s: %w", u.Name, ferr)
+		} else {
+			err = eval()
+		}
+		if err == nil {
+			r.countEval(u.Name)
+			r.noteOutcome(u.Name, true)
+			return nil
+		}
+		r.countFailed(u.Name, faults.IsTransient(err))
+		if faults.IsTransient(err) && attempt < max {
+			r.clock.Charge(simclock.CatRetry, costs.RetryBackoff(attempt+1))
+			r.countRetry(u.Name)
+			continue
+		}
+		r.noteOutcome(u.Name, false)
+		if attempt > 1 {
+			return fmt.Errorf("%w: %s after %d attempts: %w", ErrEvalFailed, u.Name, attempt, err)
+		}
+		return fmt.Errorf("%w: %w", ErrEvalFailed, err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eva/internal/catalog"
+	"eva/internal/faults"
 	"eva/internal/simclock"
 	"eva/internal/types"
 	"eva/internal/vision"
@@ -18,12 +19,17 @@ import (
 type ScalarFunc func(args []types.Datum) (types.Datum, error)
 
 // Stats summarizes a UDF's activity over a workload: the quantities
-// behind Table 2 (hit percentage) and Table 3 (#DI, #TI).
+// behind Table 2 (hit percentage) and Table 3 (#DI, #TI), plus the
+// failure-path counters of the resilience machinery. Evaluated counts
+// only invocations that eventually succeeded; a retried transient
+// blip adds to Failed and Retried without disturbing it.
 type Stats struct {
 	Distinct  int // #DI: distinct invocations demanded
 	Total     int // #TI: total invocations demanded
 	Reused    int // invocations satisfied from a view or cache
-	Evaluated int // invocations actually executed
+	Evaluated int // invocations successfully executed
+	Failed    int // failed evaluation attempts (transient + permanent)
+	Retried   int // retries performed after transient failures
 }
 
 // FunCacheHashThroughput is the simulated throughput of the xxHash
@@ -54,24 +60,37 @@ type Runtime struct {
 	tableC   map[xxhash.Key128]*types.Batch // guarded by mu
 	impls    map[string]ScalarFunc          // guarded by mu
 
-	demand map[string]map[uint64]int // guarded by mu
-	total  map[string]int            // guarded by mu
-	reused map[string]int            // guarded by mu
-	evals  map[string]int            // guarded by mu
+	demand    map[string]map[uint64]int // guarded by mu
+	total     map[string]int            // guarded by mu
+	reused    map[string]int            // guarded by mu
+	evals     map[string]int            // guarded by mu
+	failed    map[string]int            // guarded by mu
+	transient map[string]int            // guarded by mu; transient subset of failed
+	retried   map[string]int            // guarded by mu
+
+	inj            *faults.Injector    // guarded by mu
+	breakers       map[string]*breaker // guarded by mu
+	retryMax       int                 // guarded by mu; 0 = costs.RetryMaxAttempts
+	breakThreshold int                 // guarded by mu; 0 = DefaultBreakerThreshold
+	breakCooldown  time.Duration       // guarded by mu; 0 = DefaultBreakerCooldown
 }
 
 // NewRuntime returns a runtime over the catalog, charging the clock.
 func NewRuntime(cat *catalog.Catalog, clock *simclock.Clock) *Runtime {
 	return &Runtime{
-		cat:     cat,
-		clock:   clock,
-		scalarC: map[xxhash.Key128]types.Datum{},
-		tableC:  map[xxhash.Key128]*types.Batch{},
-		impls:   map[string]ScalarFunc{},
-		demand:  map[string]map[uint64]int{},
-		total:   map[string]int{},
-		reused:  map[string]int{},
-		evals:   map[string]int{},
+		cat:       cat,
+		clock:     clock,
+		scalarC:   map[xxhash.Key128]types.Datum{},
+		tableC:    map[xxhash.Key128]*types.Batch{},
+		impls:     map[string]ScalarFunc{},
+		demand:    map[string]map[uint64]int{},
+		total:     map[string]int{},
+		reused:    map[string]int{},
+		evals:     map[string]int{},
+		failed:    map[string]int{},
+		transient: map[string]int{},
+		retried:   map[string]int{},
+		breakers:  map[string]*breaker{},
 	}
 }
 
@@ -126,6 +145,8 @@ func (r *Runtime) CounterSnapshot() map[string]Stats {
 			Total:     r.total[u],
 			Reused:    r.reused[u],
 			Evaluated: r.evals[u],
+			Failed:    r.failed[u],
+			Retried:   r.retried[u],
 		}
 	}
 	return out
@@ -147,8 +168,8 @@ func (r *Runtime) HitPercentage() float64 {
 	return 100 * float64(reused) / float64(total)
 }
 
-// ResetCounters clears demand/reuse accounting (a fresh workload) and
-// drops the FunCache contents.
+// ResetCounters clears demand/reuse accounting (a fresh workload),
+// drops the FunCache contents, and closes all circuit breakers.
 func (r *Runtime) ResetCounters() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -156,6 +177,10 @@ func (r *Runtime) ResetCounters() {
 	r.total = map[string]int{}
 	r.reused = map[string]int{}
 	r.evals = map[string]int{}
+	r.failed = map[string]int{}
+	r.transient = map[string]int{}
+	r.retried = map[string]int{}
+	r.breakers = map[string]*breaker{}
 	r.scalarC = map[xxhash.Key128]types.Datum{}
 	r.tableC = map[xxhash.Key128]*types.Batch{}
 }
@@ -231,20 +256,25 @@ func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error
 }
 
 func (r *Runtime) runDetector(u *catalog.UDF, payload []byte) (*types.Batch, error) {
-	r.clock.Charge(simclock.CatUDF, u.Cost)
-	r.countEval(u.Name)
-	dets, err := vision.Detect(u.Name, payload)
+	var out *types.Batch
+	err := r.evalResilient(u, func() error {
+		dets, err := vision.Detect(u.Name, payload)
+		if err != nil {
+			return fmt.Errorf("udf: %s: %w", u.Name, err)
+		}
+		out = types.NewBatchCapacity(catalog.DetectorSchema, len(dets))
+		for _, d := range dets {
+			out.MustAppendRow(
+				types.NewString(d.Label),
+				types.NewString(d.BBox()),
+				types.NewFloat(d.Score),
+				types.NewFloat(d.Area()),
+			)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("udf: %s: %w", u.Name, err)
-	}
-	out := types.NewBatchCapacity(catalog.DetectorSchema, len(dets))
-	for _, d := range dets {
-		out.MustAppendRow(
-			types.NewString(d.Label),
-			types.NewString(d.BBox()),
-			types.NewFloat(d.Score),
-			types.NewFloat(d.Area()),
-		)
+		return nil, err
 	}
 	return out, nil
 }
@@ -281,20 +311,30 @@ func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, erro
 }
 
 func (r *Runtime) runScalar(u *catalog.UDF, args []types.Datum) (types.Datum, error) {
-	r.clock.Charge(simclock.CatUDF, u.Cost)
-	r.countEval(u.Name)
-	switch {
-	case strings.HasPrefix(u.Impl, "builtin:"):
-		return r.runBuiltin(u, args)
-	default:
-		r.mu.Lock()
-		fn, ok := r.impls[strings.ToLower(u.Name)]
-		r.mu.Unlock()
-		if !ok {
-			return types.Null, fmt.Errorf("udf: no implementation registered for %s (impl %q)", u.Name, u.Impl)
+	var out types.Datum
+	err := r.evalResilient(u, func() error {
+		var err error
+		switch {
+		case strings.HasPrefix(u.Impl, "builtin:"):
+			out, err = r.runBuiltin(u, args)
+		default:
+			r.mu.Lock()
+			fn, ok := r.impls[strings.ToLower(u.Name)]
+			r.mu.Unlock()
+			if !ok {
+				return fmt.Errorf("udf: no implementation registered for %s (impl %q)", u.Name, u.Impl)
+			}
+			out, err = fn(args)
+			if err != nil {
+				err = fmt.Errorf("udf: %s: %w", u.Name, err)
+			}
 		}
-		return fn(args)
+		return err
+	})
+	if err != nil {
+		return types.Null, err
 	}
+	return out, nil
 }
 
 func (r *Runtime) runBuiltin(u *catalog.UDF, args []types.Datum) (types.Datum, error) {
