@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench faults-stress
+.PHONY: build test race lint check bench faults-stress differential cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,37 @@ faults-stress:
 	$(GO) test -run=^$$ -fuzz=FuzzViewReplay -fuzztime=5s ./internal/storage/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeDatum -fuzztime=5s ./internal/types/
 
+# differential runs the serial-vs-parallel harness under the race
+# detector: every testdata script at Workers ∈ {1,2,8} × BatchSize ∈
+# {1,7,256} must produce byte-identical results, reports and virtual
+# time. See DESIGN.md "Parallel execution".
+differential:
+	$(GO) test -race -run TestDifferentialMatrix .
+
+# cover enforces a coverage floor on the packages at the heart of the
+# correctness argument: the executor (parallel merge, pipelining,
+# view maintenance) and the symbolic algebra (Algorithm 1).
+COVER_FLOOR ?= 85
+cover:
+	@for pkg in ./internal/exec ./internal/symbolic; do \
+		out=$$($(GO) test -cover $$pkg | tail -1); \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "no coverage for $$pkg: $$out"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{print (p>=f)?1:0}'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "coverage $$pct% of $$pkg below floor $(COVER_FLOOR)%"; exit 1; fi; \
+		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+	done
+
+# fuzz-smoke gives the property-based targets a short budget: the
+# Algorithm 1 reducer against its truth-table oracle.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzReduce -fuzztime=5s ./internal/symbolic/
+
 # check is the full verification gate: formatting, vet, the evalint
-# suite, a clean build, the test suite under the race detector, and
-# the fault-injection stress pass.
+# suite, a clean build, the test suite under the race detector, the
+# serial-vs-parallel differential matrix, the coverage floor, the
+# fault-injection stress pass and the fuzz smokes.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -40,4 +68,7 @@ check:
 	$(GO) run ./cmd/evalint ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) differential
+	$(MAKE) cover
 	$(MAKE) faults-stress
+	$(MAKE) fuzz-smoke

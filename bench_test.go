@@ -9,6 +9,7 @@
 package eva_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"testing"
@@ -238,6 +239,36 @@ func rangePred(b *testing.B, lo, hi float64) symbolic.DNF {
 			WithConstraint("label", symbolic.CatConstraint(symbolic.NewCatSet("car"))),
 	)
 	return d
+}
+
+// BenchmarkParallelScanUDF measures the parallel pipelined executor
+// on a latency-bound scan+UDF workload (a blocking scalar UDF models
+// NN-inference RPCs) at several worker counts. Wall-clock ns/op should
+// drop near-linearly with workers while the simulated time — asserted
+// inside RunParallelBench — stays byte-identical. The committed
+// baseline lives in BENCH_parallel.json (refresh with
+// `go run ./cmd/vbench -parallel-json BENCH_parallel.json`).
+func BenchmarkParallelScanUDF(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := vbench.ParallelBenchConfig{
+				Frames:  100,
+				Sleep:   2 * time.Millisecond,
+				Iters:   1,
+				Workers: []int{workers},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := vbench.RunParallelBench(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Cells[0].NsPerOp), "wall-ns/udf-op")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkSingleQueryColdVsWarm(b *testing.B) {

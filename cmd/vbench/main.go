@@ -21,12 +21,32 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run (or 'all')")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor in (0, 1]; 1.0 = paper-sized")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallelJSON := flag.String("parallel-json", "", "run the parallel scan+UDF benchmark and write its JSON baseline to this path (e.g. BENCH_parallel.json)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range vbench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *parallelJSON != "" {
+		res, err := vbench.RunParallelBench(vbench.DefaultParallelBench())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*parallelJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *parallelJSON)
 		return
 	}
 

@@ -112,6 +112,15 @@ type Config struct {
 	// a query whose virtual-clock charges exceed the budget aborts
 	// with ErrDeadlineExceeded. Zero means unlimited.
 	QueryDeadline time.Duration
+	// Workers enables the parallel pipelined executor: scan, filter
+	// and apply stages run concurrently behind bounded channels, and
+	// UDF invocations within a batch evaluate across a worker pool of
+	// this size. 0 or 1 runs the classic serial engine. Results,
+	// optimizer reports and simulated-time totals are byte-identical
+	// at every setting; only wall-clock time changes. Fault-injected
+	// runs and ModeFunCache pin themselves serial to keep their replay
+	// and hit/miss schedules deterministic.
+	Workers int
 }
 
 // ErrDeadlineExceeded is returned (wrapped) by Exec when a query
@@ -172,6 +181,7 @@ func Open(cfg Config) (*System, error) {
 	eng := core.New(store, cfg.BatchSize)
 	eng.Runtime.SetFunCache(cfg.Mode == ModeFunCache)
 	eng.Deadline = cfg.QueryDeadline
+	eng.Workers = cfg.Workers
 	s := &System{
 		cfg: cfg, tempDir: temp,
 		eng:   eng,

@@ -62,112 +62,119 @@ func TestFaultSweep(t *testing.T) {
 	}
 	baseViews := base.ViewRows()
 
+	// The sweep runs once serial and once at Workers=8: injected fault
+	// draws replay from one seeded stream whose consumption order is
+	// part of the contract, so the executor pins itself serial whenever
+	// an injector is attached — every schedule, outcome and view state
+	// must be identical at any worker setting.
 	const seeds = 24
 	injectedTotal := 0
-	for seed := uint64(1); seed <= seeds; seed++ {
-		regime := []string{"transient", "permanent", "crash", "deadline"}[seed%4]
-		t.Run(fmt.Sprintf("%s-seed%d", regime, seed), func(t *testing.T) {
-			dir := t.TempDir()
-			sys, err := Open(Config{Dir: dir, Mode: ModeEVA})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer sys.Close()
-			if err := sys.LoadVideo("video", "jackson"); err != nil {
-				t.Fatal(err)
-			}
-			inj := faults.New(seed)
-			switch regime {
-			case "transient":
-				inj.Rule(faults.SiteUDF("*"), faults.Rule{Kind: faults.Transient, Prob: 0.08})
-				inj.Rule("view:write:*", faults.Rule{Kind: faults.Transient, Prob: 0.05})
-			case "permanent":
-				inj.Rule(faults.SiteUDF(vision.YoloTiny), faults.Rule{Kind: faults.Permanent, Prob: 1})
-			case "crash":
-				inj.Rule("view:write:*", faults.Rule{
-					Kind: faults.Crash, Prob: 0.2, ShortWrite: int(seed * 13 % 97),
-				})
-			case "deadline":
-				inj.Rule(faults.SiteDeadline, faults.Rule{Kind: faults.Permanent, At: []int{10}})
-			}
-			sys.InjectFaults(inj)
-
-			rows, errs := runSweepWorkload(t, sys)
-
-			switch regime {
-			case "transient":
-				// Retry must absorb every transient fault: identical
-				// results, identical materialized state.
-				for i, err := range errs {
-					if err != nil {
-						t.Errorf("query %d failed under transient faults: %v", i, err)
-					} else if rows[i] != baseRows[i] {
-						t.Errorf("query %d rows = %d, baseline %d", i, rows[i], baseRows[i])
-					}
-				}
-				views := sys.ViewRows()
-				if len(views) != len(baseViews) {
-					t.Errorf("views = %v, baseline %v", views, baseViews)
-				}
-				for name, n := range baseViews {
-					if views[name] != n {
-						t.Errorf("view %s rows = %d, baseline %d", name, views[name], n)
-					}
-				}
-			case "permanent":
-				// The logical queries degrade to FasterRCNN50; the
-				// explicitly bound queries never touch YoloTiny.
-				for i, err := range errs {
-					if err != nil {
-						t.Errorf("query %d did not degrade: %v", i, err)
-					}
-				}
-				if res, err := sys.Exec(sweepWorkload[0]); err != nil {
-					t.Errorf("post-trip logical query failed: %v", err)
-				} else if res.Report.DetectorEval != vision.FasterRCNN50 {
-					t.Errorf("degraded eval = %s, want %s", res.Report.DetectorEval, vision.FasterRCNN50)
-				}
-			case "crash":
-				// Queries may fail, but only with a clean error that
-				// carries the injected fault or the dead-view refusal.
-				for i, err := range errs {
-					if err == nil {
-						continue
-					}
-					if _, ok := faults.AsFault(err); !ok &&
-						!strings.Contains(err.Error(), "simulated crash") {
-						t.Errorf("query %d unclean error: %v", i, err)
-					}
-				}
-				// Reopening the storage directory must replay every
-				// view log without error (torn tails truncate cleanly).
-				re, err := storage.Open(dir)
+	for _, workers := range []int{1, 8} {
+		for seed := uint64(1); seed <= seeds; seed++ {
+			regime := []string{"transient", "permanent", "crash", "deadline"}[seed%4]
+			t.Run(fmt.Sprintf("workers%d/%s-seed%d", workers, regime, seed), func(t *testing.T) {
+				dir := t.TempDir()
+				sys, err := Open(Config{Dir: dir, Mode: ModeEVA, Workers: workers})
 				if err != nil {
-					t.Fatalf("reopen after crash faults: %v", err)
+					t.Fatal(err)
 				}
-				for _, name := range re.Views() {
-					if v := re.View(name); v.Rows() < 0 {
-						t.Errorf("view %s corrupt after reopen", name)
+				defer sys.Close()
+				if err := sys.LoadVideo("video", "jackson"); err != nil {
+					t.Fatal(err)
+				}
+				inj := faults.New(seed)
+				switch regime {
+				case "transient":
+					inj.Rule(faults.SiteUDF("*"), faults.Rule{Kind: faults.Transient, Prob: 0.08})
+					inj.Rule("view:write:*", faults.Rule{Kind: faults.Transient, Prob: 0.05})
+				case "permanent":
+					inj.Rule(faults.SiteUDF(vision.YoloTiny), faults.Rule{Kind: faults.Permanent, Prob: 1})
+				case "crash":
+					inj.Rule("view:write:*", faults.Rule{
+						Kind: faults.Crash, Prob: 0.2, ShortWrite: int(seed * 13 % 97),
+					})
+				case "deadline":
+					inj.Rule(faults.SiteDeadline, faults.Rule{Kind: faults.Permanent, At: []int{10}})
+				}
+				sys.InjectFaults(inj)
+
+				rows, errs := runSweepWorkload(t, sys)
+
+				switch regime {
+				case "transient":
+					// Retry must absorb every transient fault: identical
+					// results, identical materialized state.
+					for i, err := range errs {
+						if err != nil {
+							t.Errorf("query %d failed under transient faults: %v", i, err)
+						} else if rows[i] != baseRows[i] {
+							t.Errorf("query %d rows = %d, baseline %d", i, rows[i], baseRows[i])
+						}
+					}
+					views := sys.ViewRows()
+					if len(views) != len(baseViews) {
+						t.Errorf("views = %v, baseline %v", views, baseViews)
+					}
+					for name, n := range baseViews {
+						if views[name] != n {
+							t.Errorf("view %s rows = %d, baseline %d", name, views[name], n)
+						}
+					}
+				case "permanent":
+					// The logical queries degrade to FasterRCNN50; the
+					// explicitly bound queries never touch YoloTiny.
+					for i, err := range errs {
+						if err != nil {
+							t.Errorf("query %d did not degrade: %v", i, err)
+						}
+					}
+					if res, err := sys.Exec(sweepWorkload[0]); err != nil {
+						t.Errorf("post-trip logical query failed: %v", err)
+					} else if res.Report.DetectorEval != vision.FasterRCNN50 {
+						t.Errorf("degraded eval = %s, want %s", res.Report.DetectorEval, vision.FasterRCNN50)
+					}
+				case "crash":
+					// Queries may fail, but only with a clean error that
+					// carries the injected fault or the dead-view refusal.
+					for i, err := range errs {
+						if err == nil {
+							continue
+						}
+						if _, ok := faults.AsFault(err); !ok &&
+							!strings.Contains(err.Error(), "simulated crash") {
+							t.Errorf("query %d unclean error: %v", i, err)
+						}
+					}
+					// Reopening the storage directory must replay every
+					// view log without error (torn tails truncate cleanly).
+					re, err := storage.Open(dir)
+					if err != nil {
+						t.Fatalf("reopen after crash faults: %v", err)
+					}
+					for _, name := range re.Views() {
+						if v := re.View(name); v.Rows() < 0 {
+							t.Errorf("view %s corrupt after reopen", name)
+						}
+					}
+				case "deadline":
+					hits := 0
+					for i, err := range errs {
+						if err == nil {
+							continue
+						}
+						if !errors.Is(err, ErrDeadlineExceeded) {
+							t.Errorf("query %d error = %v, want deadline expiry", i, err)
+						}
+						_ = i
+						hits++
+					}
+					if hits != 1 {
+						t.Errorf("deadline fault killed %d queries, want exactly 1", hits)
 					}
 				}
-			case "deadline":
-				hits := 0
-				for i, err := range errs {
-					if err == nil {
-						continue
-					}
-					if !errors.Is(err, ErrDeadlineExceeded) {
-						t.Errorf("query %d error = %v, want deadline expiry", i, err)
-					}
-					_ = i
-					hits++
-				}
-				if hits != 1 {
-					t.Errorf("deadline fault killed %d queries, want exactly 1", hits)
-				}
-			}
-			injectedTotal += inj.Injected()
-		})
+				injectedTotal += inj.Injected()
+			})
+		}
 	}
 	if injectedTotal == 0 {
 		t.Fatal("sweep injected no faults — schedules are vacuous")

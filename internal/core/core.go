@@ -49,6 +49,9 @@ type Engine struct {
 	// Deadline is the virtual-time budget applied to each query
 	// execution (0 = unlimited).
 	Deadline time.Duration
+	// Workers is the parallel pipelined executor's worker count
+	// (0 or 1 = serial); see exec.Context.Workers.
+	Workers int
 
 	batchSize int
 	faults    *faults.Injector
@@ -117,6 +120,7 @@ func (e *Engine) execute(stmt *parser.SelectStmt, mode optimizer.Mode, traced bo
 		ctx := &exec.Context{
 			Store: e.Store, Runtime: e.Runtime, Clock: e.Clock,
 			BatchSize: e.batchSize, Faults: e.faults, Deadline: e.Deadline,
+			Workers: e.Workers,
 		}
 		var trace *exec.Trace
 		if traced {

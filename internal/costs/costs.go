@@ -88,6 +88,38 @@ func RetryBackoff(attempt int) time.Duration {
 	return d
 }
 
+// AmdahlSpeedup models the wall-clock speedup of the parallel
+// pipelined executor at the given worker count: the parallel fraction
+// of the workload (UDF evaluation, which the worker pool spreads out)
+// divides by workers, the rest stays serial. This is a *wall-clock*
+// model only — the virtual clock always charges full undivided costs,
+// keeping simulated totals worker-count-invariant (DESIGN.md §10);
+// vbench compares this prediction against measured wall time.
+func AmdahlSpeedup(parallelFrac float64, workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	if parallelFrac < 0 {
+		parallelFrac = 0
+	}
+	if parallelFrac > 1 {
+		parallelFrac = 1
+	}
+	return 1 / ((1 - parallelFrac) + parallelFrac/float64(workers))
+}
+
+// ParallelAdjusted predicts the wall-clock duration of a workload with
+// total serial duration `total`, of which `parallel` is spent in
+// worker-pool-parallelizable UDF evaluation, when run at the given
+// worker count.
+func ParallelAdjusted(total, parallel time.Duration, workers int) time.Duration {
+	if total <= 0 {
+		return 0
+	}
+	frac := float64(parallel) / float64(total)
+	return time.Duration(float64(total) / AmdahlSpeedup(frac, workers))
+}
+
 // RetryAdjustedCost is the Eq. 3 planning cost of one UDF invocation
 // when the model fails transiently with probability p per attempt:
 // the expected number of attempts (truncated geometric series over

@@ -40,9 +40,17 @@ type Context struct {
 	// The budget starts when Run is called and is checked before every
 	// operator's next, so an expired query stops within one batch.
 	Deadline time.Duration
+	// Workers enables the parallel pipelined engine: UDF invocations
+	// fan out across a bounded pool of this size and operator stages
+	// are decoupled behind bounded channels (see parallel.go). 0 or 1
+	// runs the classic serial engine. Results, reports and virtual
+	// clock totals are byte-identical at every setting.
+	Workers int
 
 	traceDepth int
+	noPipeline int // build-time: >0 while under a Limit (no stages)
 	dl         *deadlineState
+	stages     []*stageIter // pipeline stages of the current Run
 }
 
 func (c *Context) batchSize() int {
@@ -55,6 +63,9 @@ func (c *Context) batchSize() int {
 // Run executes the plan to completion and returns all result rows.
 func Run(ctx *Context, n plan.Node) (*types.Batch, error) {
 	ctx.armDeadline()
+	ctx.stages = nil
+	defer ctx.stopStages()
+	warmSchemas(n)
 	it, err := build(ctx, n)
 	if err != nil {
 		return nil, err
@@ -117,13 +128,13 @@ func buildNode(ctx *Context, n plan.Node) (iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &filterIter{ctx: ctx, in: in, node: node}, nil
+		return &filterIter{ctx: ctx, in: ctx.maybeStage(in), node: node}, nil
 	case *plan.ReuseApply:
 		in, err := build(ctx, node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return newApplyIter(ctx, node, in)
+		return newApplyIter(ctx, node, ctx.maybeStage(in))
 	case *plan.Project:
 		in, err := build(ctx, node.Input)
 		if err != nil {
@@ -135,15 +146,17 @@ func buildNode(ctx *Context, n plan.Node) (iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &groupIter{ctx: ctx, in: in, node: node}, nil
+		return &groupIter{ctx: ctx, in: ctx.maybeStage(in), node: node}, nil
 	case *plan.Sort:
 		in, err := build(ctx, node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return &sortIter{ctx: ctx, in: in, node: node}, nil
+		return &sortIter{ctx: ctx, in: ctx.maybeStage(in), node: node}, nil
 	case *plan.Limit:
+		ctx.noPipeline++
 		in, err := build(ctx, node.Input)
+		ctx.noPipeline--
 		if err != nil {
 			return nil, err
 		}
@@ -317,6 +330,27 @@ func (a *applyIter) viewSchema(in types.Schema) types.Schema {
 	return sch.Concat(a.node.Out)
 }
 
+// viewFlushRows is the pending-row threshold above which the store
+// view is flushed between batches, mirroring EVA's batched
+// materialization (batch size 200 MiB in the paper). Flushing at batch
+// boundaries — never mid-row-loop — keeps view visibility independent
+// of evaluation scheduling, so parallel and serial runs probe
+// identical view states.
+const viewFlushRows = 8192
+
+// rowDecision is the apply operator's per-row outcome. The serial
+// probe phase either serves the row from a view (capturing the rows to
+// emit) or queues it for UDF evaluation; the parallel eval phase fills
+// outs/err for queued rows; the serial assemble phase merges both in
+// row order.
+type rowDecision struct {
+	served   bool
+	viewRows [][]types.Datum // rows to emit for a served row
+	key      []types.Datum   // owned key copy (evaluated rows only)
+	outs     *types.Batch    // UDF output rows (evaluated rows only)
+	err      error
+}
+
 func (a *applyIter) next() (*types.Batch, error) {
 	b, err := a.in.next()
 	if err != nil {
@@ -328,9 +362,25 @@ func (a *applyIter) next() (*types.Batch, error) {
 		}
 		return nil, nil
 	}
-	out := types.NewBatchCapacity(a.node.Schema(), b.Len())
-	res := &rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b}
-	args := make([]types.Datum, len(a.node.Args))
+	decisions := a.probePhase(b)
+	a.evalPhase(b, decisions)
+	out, err := a.assemblePhase(b, decisions)
+	if err != nil {
+		return nil, err
+	}
+	if a.pendingRows != nil && a.pendingRows.Len() >= viewFlushRows {
+		if err := a.flush(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// probePhase runs the reuse arm serially in row order: demand
+// accounting, the view probes, and the fuzzy fallback. Rows no view
+// can serve come back with an owned key copy, queued for evaluation.
+func (a *applyIter) probePhase(b *types.Batch) []rowDecision {
+	decisions := make([]rowDecision, b.Len())
 	key := make([]types.Datum, len(a.keyIdx))
 	readCost := costs.TableViewReadCost
 	if !a.node.TableUDF {
@@ -356,7 +406,7 @@ func (a *applyIter) next() (*types.Batch, error) {
 		a.ctx.Runtime.RecordDemand(a.node.Eval, ek)
 		a.ctx.Clock.Charge(simclock.CatApply, costs.ProbeCost)
 
-		served := false
+		d := &decisions[r]
 		for _, view := range a.sources {
 			if !view.HasKey(key) {
 				continue
@@ -371,53 +421,99 @@ func (a *applyIter) next() (*types.Batch, error) {
 				for c := nKey; c < len(view.Schema()); c++ {
 					row = append(row, vb.At(vi, c))
 				}
-				out.MustAppendRow(row...)
+				d.viewRows = append(d.viewRows, row)
 			}
-			served = true
+			d.served = true
 			break
 		}
-		if !served && len(a.fuzzy) > 0 {
-			served = a.serveFuzzy(b, r, out, readCost)
+		if !d.served && len(a.fuzzy) > 0 {
+			if rows, ok := a.serveFuzzy(b, r, readCost); ok {
+				d.viewRows = rows
+				d.served = true
+			}
 		}
-		if served {
-			continue
+		if !d.served {
+			d.key = append([]types.Datum(nil), key...)
 		}
+	}
+	return decisions
+}
 
-		// Conditional Apply arm: evaluate the UDF.
-		res.row = r
-		for i, argE := range a.node.Args {
-			v, err := expr.Eval(argE, res)
-			if err != nil {
-				return nil, fmt.Errorf("exec: apply arg %q: %w", argE, err)
-			}
-			args[i] = v
+// evalPhase runs the conditional-Apply arm for every unserved row
+// across the worker pool. Each row writes only its own decision slot;
+// the Runtime and Clock are concurrency-safe, so no further locking is
+// needed.
+func (a *applyIter) evalPhase(b *types.Batch, decisions []rowDecision) {
+	var evalRows []int
+	for r := range decisions {
+		if !decisions[r].served {
+			evalRows = append(evalRows, r)
 		}
-		if a.node.TableUDF {
-			if len(args) != 1 || args[0].Kind() != types.KindBytes {
-				return nil, fmt.Errorf("exec: table UDF %s expects a frame argument", a.node.Eval)
-			}
-			rows, err := a.ctx.Runtime.EvalDetector(a.node.Eval, args[0].Bytes())
-			if err != nil {
-				return nil, fmt.Errorf("exec: detector %s: %w", a.node.Eval, err)
-			}
-			for dr := 0; dr < rows.Len(); dr++ {
-				row := append(b.Row(r), rows.Row(dr)...)
+	}
+	if len(evalRows) == 0 {
+		return
+	}
+	runParallel(a.ctx.workers(), len(evalRows), func(i int) {
+		r := evalRows[i]
+		decisions[r].outs, decisions[r].err = a.evalRow(b, r)
+	})
+}
+
+// evalRow evaluates the UDF for one input row, returning the output
+// rows in a.node.Out's schema. Called concurrently for distinct rows.
+func (a *applyIter) evalRow(b *types.Batch, r int) (*types.Batch, error) {
+	res := &rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b, row: r}
+	args := make([]types.Datum, len(a.node.Args))
+	for i, argE := range a.node.Args {
+		v, err := expr.Eval(argE, res)
+		if err != nil {
+			return nil, fmt.Errorf("exec: apply arg %q: %w", argE, err)
+		}
+		args[i] = v
+	}
+	if a.node.TableUDF {
+		if len(args) != 1 || args[0].Kind() != types.KindBytes {
+			return nil, fmt.Errorf("exec: table UDF %s expects a frame argument", a.node.Eval)
+		}
+		rows, err := a.ctx.Runtime.EvalDetector(a.node.Eval, args[0].Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("exec: detector %s: %w", a.node.Eval, err)
+		}
+		return rows, nil
+	}
+	v, err := a.ctx.Runtime.EvalScalar(a.node.Eval, args)
+	if err != nil {
+		return nil, fmt.Errorf("exec: udf %s: %w", a.node.Eval, err)
+	}
+	single := types.NewBatch(a.node.Out)
+	single.MustAppendRow(v)
+	return single, nil
+}
+
+// assemblePhase merges served and evaluated rows back into one output
+// batch in input-row order and buffers fresh results for the store
+// view — the order-preserving fan-in that keeps parallel output
+// byte-identical to serial. Errors surface in row order, so the
+// reported failure is the one the serial engine would hit first.
+func (a *applyIter) assemblePhase(b *types.Batch, decisions []rowDecision) (*types.Batch, error) {
+	out := types.NewBatchCapacity(a.node.Schema(), b.Len())
+	for r := range decisions {
+		d := &decisions[r]
+		if d.served {
+			for _, row := range d.viewRows {
 				out.MustAppendRow(row...)
 			}
-			if err := a.buffer(key, rows); err != nil {
-				return nil, err
-			}
-		} else {
-			v, err := a.ctx.Runtime.EvalScalar(a.node.Eval, args)
-			if err != nil {
-				return nil, fmt.Errorf("exec: udf %s: %w", a.node.Eval, err)
-			}
-			out.MustAppendRow(append(b.Row(r), v)...)
-			single := types.NewBatch(a.node.Out)
-			single.MustAppendRow(v)
-			if err := a.buffer(key, single); err != nil {
-				return nil, err
-			}
+			continue
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		for dr := 0; dr < d.outs.Len(); dr++ {
+			row := append(b.Row(r), d.outs.Row(dr)...)
+			out.MustAppendRow(row...)
+		}
+		if err := a.buffer(d.key, d.outs); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -446,11 +542,6 @@ func (a *applyIter) buffer(key []types.Datum, outs *types.Batch) error {
 				return fmt.Errorf("exec: buffer view rows: %w", err)
 			}
 		}
-	}
-	// Flush in chunks to bound memory, mirroring EVA's batched
-	// materialization (batch size 200 MiB in the paper).
-	if a.pendingRows != nil && a.pendingRows.Len() >= 8192 {
-		return a.flush()
 	}
 	return nil
 }

@@ -84,17 +84,18 @@ func (f *fuzzyIndex) lookup(frame int64, bbox string) (int, bool) {
 
 // serveFuzzy attempts the fuzzy fallback for input row r: if a stored
 // result for a nearby bbox on the same frame exists in any source
-// view, emit it as this row's result. Used only for scalar UDFs.
-func (a *applyIter) serveFuzzy(b *types.Batch, r int, out *types.Batch, readCost time.Duration) bool {
+// view, return it as this row's output rows. Used only for scalar
+// UDFs; called from the serial probe phase.
+func (a *applyIter) serveFuzzy(b *types.Batch, r int, readCost time.Duration) ([][]types.Datum, bool) {
 	idIdx := b.Schema().IndexOf("id")
 	bboxIdx := b.Schema().IndexOf("bbox")
 	if idIdx < 0 || bboxIdx < 0 {
-		return false
+		return nil, false
 	}
 	frame := b.At(r, idIdx)
 	bbox := b.At(r, bboxIdx)
 	if frame.IsNull() || bbox.IsNull() {
-		return false
+		return nil, false
 	}
 	for i, fi := range a.fuzzy {
 		rowIdx, ok := fi.lookup(frame.Int(), bbox.Str())
@@ -108,12 +109,11 @@ func (a *applyIter) serveFuzzy(b *types.Batch, r int, out *types.Batch, readCost
 		for c := nKey; c < len(view.Schema()); c++ {
 			row = append(row, vb.At(rowIdx, c))
 		}
-		out.MustAppendRow(row...)
 		a.ctx.Runtime.RecordReuse(a.node.Eval)
 		a.ctx.Clock.Charge(simclock.CatReadView, readCost)
-		return true
+		return [][]types.Datum{row}, true
 	}
-	return false
+	return nil, false
 }
 
 // fuzzyKeyPositions locates the id and bbox columns within the key

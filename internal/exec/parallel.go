@@ -1,0 +1,208 @@
+package exec
+
+// Parallel pipelined execution (DESIGN.md §10). With Context.Workers
+// above one, the executor runs in two cooperating modes:
+//
+//   - pipeline stages: the inputs of Filter, ReuseApply, GroupBy and
+//     Sort are decoupled behind bounded channels, so a scan can decode
+//     the next batch while the filter above it evaluates predicates and
+//     the apply above that runs UDFs (the Volcano tree becomes a short
+//     pipeline of single-producer stages);
+//   - parallel apply: within one batch, the conditional-Apply operator
+//     evaluates the UDF invocations its probe phase could not serve
+//     from a view across a bounded worker pool, then merges results in
+//     row order.
+//
+// Determinism contract: results, reports and virtual-clock totals are
+// byte-identical at every worker count. Order preservation comes from
+// single-producer stages (batch order) plus the apply operator's
+// serial probe/assemble phases (row order). Virtual-time invariance
+// comes from charging exactly the serial set of modeled costs: stage
+// producers perform exactly the pulls the serial engine would (stages
+// are never inserted under a Limit, whose early exit would otherwise
+// let a producer prefetch — and charge for — batches the serial engine
+// never reads), and the worker pool evaluates exactly the rows the
+// serial engine would. Sums of charges commute, so scheduling order
+// cannot change any total. The one exception is a failing query: the
+// pool may have evaluated (and charged for) rows past the first error
+// before the abort propagates; the query's results are discarded
+// either way.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eva/internal/plan"
+	"eva/internal/types"
+)
+
+// DefaultPipelineDepth is the number of in-flight batches buffered at
+// each pipeline stage boundary. Small on purpose: one batch hides the
+// producer's latency, a second absorbs jitter, and anything more only
+// grows memory for speculative decode with no throughput gain.
+const DefaultPipelineDepth = 2
+
+// workers returns the effective evaluation concurrency for this
+// execution. Parallelism is pinned to 1 (fully serial, byte-identical
+// to the legacy engine by construction) when:
+//
+//   - Workers is unset or 1;
+//   - a fault injector is attached: injected faults consume draws from
+//     a single seeded stream whose consumption order is part of the
+//     replay contract, so deterministic schedules require the serial
+//     draw order (see internal/faults);
+//   - the FunCache baseline is active: its hit/miss sequence — and the
+//     hash/store costs charged on misses — depends on evaluation
+//     order, which only the serial schedule pins down.
+func (c *Context) workers() int {
+	if c.Workers <= 1 {
+		return 1
+	}
+	if c.Faults != nil {
+		return 1
+	}
+	if c.Runtime != nil && c.Runtime.FunCacheEnabled() {
+		return 1
+	}
+	return c.Workers
+}
+
+// warmSchemas populates every plan node's lazily memoized schema
+// bottom-up before any pipeline goroutine starts. The memoization in
+// internal/plan is unsynchronized — fine while the plan tree is
+// touched by one goroutine, a data race once stage producers call
+// Schema() concurrently with the consumer.
+func warmSchemas(n plan.Node) {
+	for _, child := range n.Children() {
+		warmSchemas(child)
+	}
+	n.Schema()
+}
+
+// stageMsg carries one producer step across a stage boundary.
+type stageMsg struct {
+	b   *types.Batch
+	err error
+}
+
+// stageIter decouples a producer subtree from its consumer: a
+// goroutine pulls batches from the input and buffers up to
+// DefaultPipelineDepth of them, preserving batch order (single
+// producer, single FIFO channel). The producer stops at end of stream,
+// at the first error, or when halted by stopStages.
+type stageIter struct {
+	out    chan stageMsg
+	stop   chan struct{}
+	exited chan struct{}
+	once   sync.Once
+	done   bool
+}
+
+// startStage launches a pipeline stage over in and registers it on the
+// Context for end-of-Run cleanup.
+func (c *Context) startStage(in iterator) *stageIter {
+	s := &stageIter{
+		out:    make(chan stageMsg, DefaultPipelineDepth),
+		stop:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	c.stages = append(c.stages, s)
+	go func() {
+		defer close(s.exited)
+		defer close(s.out)
+		for {
+			b, err := in.next()
+			select {
+			case s.out <- stageMsg{b: b, err: err}:
+			case <-s.stop:
+				return
+			}
+			if b == nil || err != nil {
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *stageIter) next() (*types.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	m, ok := <-s.out
+	if !ok {
+		// Producer halted before delivering end-of-stream (only
+		// possible after stopStages); report a clean end.
+		s.done = true
+		return nil, nil
+	}
+	if m.b == nil || m.err != nil {
+		s.done = true
+	}
+	return m.b, m.err
+}
+
+// halt tells the producer to stop pulling; buffered batches are
+// discarded. Idempotent.
+func (s *stageIter) halt() { s.once.Do(func() { close(s.stop) }) }
+
+// maybeStage wraps in with a pipeline stage when parallel execution is
+// enabled and no enclosing Limit could abandon the stream early (a
+// prefetching producer under a Limit would charge the virtual clock
+// for batches the serial engine never pulls, breaking worker-count
+// invariance of the simulated totals).
+func (c *Context) maybeStage(in iterator) iterator {
+	if c.workers() <= 1 || c.noPipeline > 0 {
+		return in
+	}
+	return c.startStage(in)
+}
+
+// stopStages halts every pipeline stage of the current Run and waits
+// for the producers to exit, so no goroutine outlives the query and no
+// clock charge lands after Run returns. Halting is deadlock-free
+// bottom-up: a producer blocked on a full channel observes stop, and a
+// producer blocked pulling from a nested stage is released when that
+// stage's producer exits and closes its channel.
+func (c *Context) stopStages() {
+	for _, s := range c.stages {
+		s.halt()
+	}
+	for _, s := range c.stages {
+		<-s.exited
+	}
+	c.stages = nil
+}
+
+// runParallel invokes fn(i) for every i in [0, n), spreading calls
+// across at most workers goroutines and blocking until all complete.
+// Callers give each index a disjoint result slot, so fn needs no
+// locking of its own. With one worker it degenerates to an inline loop
+// — the serial engine's exact code path.
+func runParallel(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"eva/internal/catalog"
+	"eva/internal/expr"
+	"eva/internal/faults"
+	"eva/internal/plan"
+	"eva/internal/types"
+	"eva/internal/vision"
+)
+
+// applyPlan is the canonical scan → filter → apply pipeline the
+// parallel engine targets: detect on every frame with id < hi.
+func applyPlan(hi int64) plan.Node {
+	return &plan.ReuseApply{
+		Input: &plan.Filter{
+			Input: scan(0, -1),
+			Pred:  expr.NewCmp(expr.OpLt, colx("id"), intc(hi)),
+		},
+		Args:      []expr.Expr{colx("frame")},
+		Sources:   []plan.ApplySource{{UDF: vision.FasterRCNN50, ViewName: "det_view"}},
+		Eval:      vision.FasterRCNN50,
+		StoreView: "det_view",
+		TableUDF:  true,
+		Out:       catalog.DetectorSchema,
+		KeyCols:   []string{"id"},
+	}
+}
+
+func TestParallelRunMatchesSerial(t *testing.T) {
+	serial := testCtx(t, vision.MediumUADetrac)
+	serial.BatchSize = 7
+	want, err := Run(serial, applyPlan(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := testCtx(t, vision.MediumUADetrac)
+	par.BatchSize = 7
+	par.Workers = 8
+	got, err := Run(par, applyPlan(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want.Len() != got.Len() {
+		t.Fatalf("rows differ: serial %d, parallel %d", want.Len(), got.Len())
+	}
+	for r := 0; r < want.Len(); r++ {
+		for c := 0; c < len(want.Schema()); c++ {
+			if !types.Equal(want.At(r, c), got.At(r, c)) {
+				t.Fatalf("row %d col %d differs: %v vs %v", r, c, want.At(r, c), got.At(r, c))
+			}
+		}
+	}
+	if s, p := serial.Clock.Snapshot(), par.Clock.Snapshot(); s != p {
+		t.Errorf("virtual clock differs: serial %v, parallel %v", s, p)
+	}
+	// The second run must serve everything from the view, in parallel too.
+	again, err := Run(par, applyPlan(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := par.Runtime.CounterSnapshot()["fasterrcnnresnet50"]
+	if stats.Reused == 0 || again.Len() != want.Len() {
+		t.Errorf("parallel reuse run: rows %d stats %+v", again.Len(), stats)
+	}
+}
+
+func TestParallelTraceCollectsStats(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Workers = 4
+	ctx.Trace = NewTrace()
+	pred := expr.NewCmp(expr.OpLt, colx("id"), intc(50))
+	out, err := Run(ctx, &plan.Filter{Input: scan(0, 200), Pred: pred})
+	if err != nil || out.Len() != 50 {
+		t.Fatalf("rows = %d, %v", out.Len(), err)
+	}
+	stats := ctx.Trace.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("want 2 traced operators, got %d", len(stats))
+	}
+	if stats[0].Depth != 0 || stats[1].Depth != 1 {
+		t.Errorf("pre-order depths = %d, %d", stats[0].Depth, stats[1].Depth)
+	}
+	if stats[0].Rows != 50 || stats[0].Batches == 0 {
+		t.Errorf("filter stat = %+v", stats[0])
+	}
+	if s := ctx.Trace.String(); !strings.Contains(s, "rows=50") {
+		t.Errorf("trace string = %q", s)
+	}
+}
+
+// TestWorkersPinning checks every branch of workers(): fault-injected
+// runs and FunCache mode must stay serial (their observable behavior
+// depends on evaluation order), everything else honors the knob.
+func TestWorkersPinning(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	if got := ctx.workers(); got != 1 {
+		t.Errorf("default workers() = %d", got)
+	}
+	ctx.Workers = 8
+	if got := ctx.workers(); got != 8 {
+		t.Errorf("workers() = %d, want 8", got)
+	}
+	ctx.Faults = faults.New(1)
+	if got := ctx.workers(); got != 1 {
+		t.Errorf("workers() with injector = %d, want 1 (seeded draw order)", got)
+	}
+	ctx.Faults = nil
+	ctx.Runtime.SetFunCache(true)
+	if got := ctx.workers(); got != 1 {
+		t.Errorf("workers() with FunCache = %d, want 1 (hit sequence order)", got)
+	}
+}
+
+// TestLimitDisablesPipeline: operators under a Limit must not run in
+// background stages — the limit stops pulling mid-stream and eager
+// producers would charge the clock for batches the query never asked
+// for. The plan still runs correctly with the knob set.
+func TestLimitDisablesPipeline(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Workers = 8
+	ctx.BatchSize = 8
+	pred := expr.NewCmp(expr.OpGe, colx("id"), intc(0))
+	n := &plan.Limit{Input: &plan.Filter{Input: scan(0, 1000), Pred: pred}, N: 20}
+	out, err := Run(ctx, n)
+	if err != nil || out.Len() != 20 {
+		t.Fatalf("limit rows = %d, %v", out.Len(), err)
+	}
+	if len(ctx.stages) != 0 {
+		t.Errorf("%d pipeline stages built under Limit, want 0", len(ctx.stages))
+	}
+}
+
+// TestParallelErrorPropagation: an error raised inside a staged
+// operator must surface from Run, and teardown must not deadlock.
+func TestParallelErrorPropagation(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Workers = 8
+	ctx.BatchSize = 4
+	bad := expr.NewCmp(expr.OpEq, colx("ghost"), intc(1))
+	if _, err := Run(ctx, &plan.Filter{Input: scan(0, 100), Pred: bad}); err == nil {
+		t.Fatal("unknown column should error through the pipeline")
+	}
+	// The context must be reusable after a failed parallel run.
+	good := expr.NewCmp(expr.OpLt, colx("id"), intc(5))
+	out, err := Run(ctx, &plan.Filter{Input: scan(0, 100), Pred: good})
+	if err != nil || out.Len() != 5 {
+		t.Fatalf("rerun after failure: rows = %d, %v", out.Len(), err)
+	}
+}
+
+// TestStageEarlyHalt: stopping stages while the producer still has
+// batches queued (consumer abandons the stream) must not leak or hang.
+func TestStageEarlyHalt(t *testing.T) {
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Workers = 2
+	ctx.BatchSize = 4
+	in, err := build(ctx, scan(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.maybeStage(in)
+	si, ok := st.(*stageIter)
+	if !ok {
+		t.Fatalf("maybeStage returned %T, want *stageIter", st)
+	}
+	b, err := si.next()
+	if err != nil || b == nil {
+		t.Fatalf("first staged batch: %v, %v", b, err)
+	}
+	// Abandon the stream mid-way; teardown must return promptly.
+	ctx.stopStages()
+	// halt is idempotent.
+	si.halt()
+	if got := len(ctx.stages); got != 0 {
+		t.Errorf("stages after stop = %d", got)
+	}
+}
+
+func TestRunParallelPool(t *testing.T) {
+	var sum atomic.Int64
+	runParallel(4, 100, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 4950 {
+		t.Errorf("parallel sum = %d", got)
+	}
+	sum.Store(0)
+	runParallel(1, 10, func(i int) { sum.Add(int64(i)) }) // serial path
+	if got := sum.Load(); got != 45 {
+		t.Errorf("serial sum = %d", got)
+	}
+	runParallel(8, 0, func(int) { t.Error("fn called for n=0") })
+}

@@ -1,0 +1,47 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzReduce drives Algorithm 1 with arbitrary seeded random
+// predicates: reduction must terminate, preserve the predicate's
+// semantics on sampled points, and be idempotent. The fuzz input is
+// the generator seed plus the expression depth, so the corpus stays
+// tiny while covering the whole predicate family; `make check` runs a
+// short smoke, `go test -fuzz=FuzzReduce ./internal/symbolic` explores
+// further.
+func FuzzReduce(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(42), uint8(2))
+	f.Add(int64(2022), uint8(3))
+	f.Add(int64(-7), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, depth uint8) {
+		r := rand.New(rand.NewSource(seed))
+		pe := randPredicate(r, int(depth%5))
+		d, err := FromExpr(pe)
+		if err != nil {
+			t.Fatalf("FromExpr(%s): %v", pe, err)
+		}
+		reduced := Reduce(d)
+		twice := Reduce(reduced)
+		if reduced.AtomCount() != twice.AtomCount() ||
+			len(reduced.Conjuncts()) != len(twice.Conjuncts()) {
+			t.Fatalf("reduce not idempotent for %s:\nonce:  %s\ntwice: %s", pe, reduced, twice)
+		}
+		for _, pt := range samplePoints(r, 20) {
+			want, err := d.Evaluate(pt)
+			if err != nil {
+				t.Fatalf("evaluate %s at %v: %v", d, pt, err)
+			}
+			got, err := reduced.Evaluate(pt)
+			if err != nil {
+				t.Fatalf("evaluate reduced %s at %v: %v", reduced, pt, err)
+			}
+			if got != want {
+				t.Fatalf("Reduce changed semantics of %s at %v: %v → %v", pe, pt, want, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"eva/internal/expr"
+	"eva/internal/types"
+)
+
+// Brute-force truth-table oracle for Algorithm 1. The random predicate
+// family (randPredicate in dnf_test.go) only compares x and y against
+// integer constants in [0,10) and c against {a,b,c}, so predicates are
+// piecewise constant over the cells of the grid below: checking every
+// integer and every half-integer midpoint in [-0.5, 9.5] per numeric
+// axis, times every category, IS the full truth table of the family.
+// INTER/DIFF/UNION produced by the symbolic machinery (DNF conversion
+// + reduction) must agree with direct boolean evaluation of the raw
+// expressions at every grid point.
+
+// oracleGrid enumerates the exhaustive domain described above.
+func oracleGrid() []map[string]Value {
+	var axis []float64
+	for v := -0.5; v <= 9.5; v += 0.5 {
+		axis = append(axis, v)
+	}
+	cats := []string{"a", "b", "c", "d"}
+	var out []map[string]Value
+	for _, x := range axis {
+		for _, y := range axis {
+			for _, c := range cats {
+				out = append(out, map[string]Value{"x": Num(x), "y": Num(y), "c": Str(c)})
+			}
+		}
+	}
+	return out
+}
+
+// evalRaw evaluates the raw (unconverted) expression at a grid point —
+// the oracle side, bypassing all symbolic machinery.
+func evalRaw(t *testing.T, e expr.Expr, pt map[string]Value) bool {
+	t.Helper()
+	res := expr.MapResolver{Cols: map[string]types.Datum{
+		"x": types.NewFloat(pt["x"].F),
+		"y": types.NewFloat(pt["y"].F),
+		"c": types.NewString(pt["c"].S),
+	}}
+	v, err := expr.EvalBool(e, res)
+	if err != nil {
+		t.Fatalf("oracle eval %s: %v", e, err)
+	}
+	return v
+}
+
+// TestTruthTableOracle checks ≥1k random predicate pairs: the reduced
+// INTER/DIFF/UNION must match the pointwise oracle p∧q / ¬p∧q / p∨q on
+// the exhaustive grid. Seeded: every run checks the same 1000 pairs.
+func TestTruthTableOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2022))
+	grid := oracleGrid()
+	// Subsample the grid per pair to keep the test fast while covering
+	// the full grid across pairs: pair i checks every 7th point with a
+	// rotating offset, so all offsets — hence all points — are hit
+	// every 7 pairs.
+	const stride = 7
+	pairs := 1000
+	if testing.Short() {
+		pairs = 200
+	}
+	for i := 0; i < pairs; i++ {
+		pe := randPredicate(r, 2)
+		qe := randPredicate(r, 2)
+		p := mustDNF(t, pe)
+		q := mustDNF(t, qe)
+		inter, diff, union := Inter(p, q), Diff(p, q), Union(p, q)
+		for j := i % stride; j < len(grid); j += stride {
+			pt := grid[j]
+			op, oq := evalRaw(t, pe, pt), evalRaw(t, qe, pt)
+			if got, _ := inter.Evaluate(pt); got != (op && oq) {
+				t.Fatalf("pair %d: INTER(%s, %s) = %v at %v, oracle %v",
+					i, pe, qe, got, pt, op && oq)
+			}
+			if got, _ := diff.Evaluate(pt); got != (!op && oq) {
+				t.Fatalf("pair %d: DIFF(%s, %s) = %v at %v, oracle %v",
+					i, pe, qe, got, pt, !op && oq)
+			}
+			if got, _ := union.Evaluate(pt); got != (op || oq) {
+				t.Fatalf("pair %d: UNION(%s, %s) = %v at %v, oracle %v",
+					i, pe, qe, got, pt, op || oq)
+			}
+		}
+	}
+}
+
+// TestTruthTableOracleReduce is the same oracle aimed at Reduce alone:
+// reduction must never change a predicate's truth table.
+func TestTruthTableOracleReduce(t *testing.T) {
+	r := rand.New(rand.NewSource(2023))
+	grid := oracleGrid()
+	const stride = 7
+	pairs := 1000
+	if testing.Short() {
+		pairs = 200
+	}
+	for i := 0; i < pairs; i++ {
+		pe := randPredicate(r, 3)
+		reduced := Reduce(mustDNF(t, pe))
+		for j := i % stride; j < len(grid); j += stride {
+			pt := grid[j]
+			want := evalRaw(t, pe, pt)
+			if got, _ := reduced.Evaluate(pt); got != want {
+				t.Fatalf("pair %d: Reduce(%s) = %v at %v, oracle %v", i, pe, got, pt, want)
+			}
+		}
+	}
+}

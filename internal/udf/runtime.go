@@ -55,10 +55,11 @@ type Runtime struct {
 	clock *simclock.Clock
 
 	mu       sync.Mutex
-	funCache bool                           // guarded by mu
-	scalarC  map[xxhash.Key128]types.Datum  // guarded by mu
-	tableC   map[xxhash.Key128]*types.Batch // guarded by mu
-	impls    map[string]ScalarFunc          // guarded by mu
+	funCache bool                            // guarded by mu
+	scalarC  map[xxhash.Key128]types.Datum   // guarded by mu
+	tableC   map[xxhash.Key128]*types.Batch  // guarded by mu
+	inflight map[xxhash.Key128]chan struct{} // guarded by mu; singleflight per cache key
+	impls    map[string]ScalarFunc           // guarded by mu
 
 	demand    map[string]map[uint64]int // guarded by mu
 	total     map[string]int            // guarded by mu
@@ -82,6 +83,7 @@ func NewRuntime(cat *catalog.Catalog, clock *simclock.Clock) *Runtime {
 		clock:     clock,
 		scalarC:   map[xxhash.Key128]types.Datum{},
 		tableC:    map[xxhash.Key128]*types.Batch{},
+		inflight:  map[xxhash.Key128]chan struct{}{},
 		impls:     map[string]ScalarFunc{},
 		demand:    map[string]map[uint64]int{},
 		total:     map[string]int{},
@@ -235,13 +237,13 @@ func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error
 	args := []types.Datum{types.NewBytes(payload)}
 	if r.isFunCache() {
 		key := r.hashArgs(virtualArgBytes(args), rawArgs(u.Name, args))
-		r.mu.Lock()
-		cached, ok := r.tableC[key]
-		r.mu.Unlock()
-		if ok {
+		// lint:nolock the accessor closure runs under mu inside claimFlight
+		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]*types.Batch { return r.tableC }, key)
+		if hit {
 			r.RecordReuse(name)
 			return cached, nil
 		}
+		defer done()
 		out, err := r.runDetector(u, payload)
 		if err != nil {
 			return nil, err
@@ -290,13 +292,13 @@ func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, erro
 	}
 	if r.isFunCache() && u.Expensive {
 		key := r.hashArgs(virtualArgBytes(args), rawArgs(u.Name, args))
-		r.mu.Lock()
-		cached, ok := r.scalarC[key]
-		r.mu.Unlock()
-		if ok {
+		// lint:nolock the accessor closure runs under mu inside claimFlight
+		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]types.Datum { return r.scalarC }, key)
+		if hit {
 			r.RecordReuse(name)
 			return cached, nil
 		}
+		defer done()
 		out, err := r.runScalar(u, args)
 		if err != nil {
 			return types.Null, err
@@ -389,6 +391,46 @@ func (r *Runtime) isFunCache() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.funCache
+}
+
+// FunCacheEnabled reports whether the FunCache baseline is active. The
+// parallel executor pins itself serial while it is: the cache's
+// hit/miss sequence — and the hash/store costs charged on misses —
+// depends on evaluation order, which only the serial schedule fixes.
+func (r *Runtime) FunCacheEnabled() bool { return r.isFunCache() }
+
+// claimFlight implements per-key singleflight for the FunCache: it
+// returns (cached, true, nil) on a hit, or (zero, false, done) after
+// claiming the key for evaluation — the caller must store the result
+// in the cache (on success) and then invoke done exactly once.
+// Concurrent callers of the same key block until the claimant
+// finishes, then re-check the cache, so each distinct key is evaluated
+// — and its miss costs charged — at most once per outcome even under
+// concurrent eval (a failed claimant releases the key, letting one
+// waiter retry).
+func claimFlight[V any](r *Runtime, cache func() map[xxhash.Key128]V, key xxhash.Key128) (V, bool, func()) {
+	for {
+		r.mu.Lock()
+		if v, ok := cache()[key]; ok {
+			r.mu.Unlock()
+			return v, true, nil
+		}
+		ch, busy := r.inflight[key]
+		if !busy {
+			done := make(chan struct{})
+			r.inflight[key] = done
+			r.mu.Unlock()
+			var zero V
+			return zero, false, func() {
+				r.mu.Lock()
+				delete(r.inflight, key)
+				r.mu.Unlock()
+				close(done)
+			}
+		}
+		r.mu.Unlock()
+		<-ch
+	}
 }
 
 func (r *Runtime) countEval(name string) {

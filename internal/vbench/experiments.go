@@ -59,6 +59,7 @@ func Experiments() []Experiment {
 		{ID: "fig12", Title: "Fig. 12 — Impact of Video Length", Paper: "speedup does not drop with length; slight increase on LONG (denser frames)", Run: ExpFig12},
 		{ID: "filters", Title: "§5.6 — Complementing Specialized Filters", Paper: "EVA+Filter ≈1.3× over EVA on JACKSON", Run: ExpFilters},
 		{ID: "storage", Title: "§5.2 — Storage Footprint", Paper: "≤0.09% extra storage (1.001× total)", Run: ExpStorage},
+		{ID: "parallel", Title: "Parallel executor — wall-clock speedup (scan+UDF)", Paper: "engine extension (DESIGN.md §10): wall-clock speedup at identical simulated time", Run: ExpParallel},
 	}
 }
 

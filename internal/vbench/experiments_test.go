@@ -12,8 +12,8 @@ var smallCfg = ExpConfig{Scale: 0.05}
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("experiments = %d, want 14 (every table and figure)", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("experiments = %d, want 15 (every table and figure, plus the parallel-engine extension)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
