@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench faults-stress differential cover fuzz-smoke
+.PHONY: build test race lint check bench faults-stress differential chaos cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ faults-stress:
 differential:
 	$(GO) test -race -run TestDifferentialMatrix .
 
+# chaos runs the fault-injected differential matrix under the race
+# detector: every testdata script × 24 seeded fault schedules (four
+# regimes) × Workers ∈ {1,2,8} must produce byte-identical digests —
+# results, error texts, reports, views, fault event logs and virtual
+# time — plus the FunCache parallel differential and fault smoke.
+# See DESIGN.md "Failure model & resilience".
+chaos:
+	$(GO) test -race -run 'TestChaosDifferentialMatrix|TestFunCacheParallelDifferential|TestFunCacheFaultSmoke' .
+
 # cover enforces a coverage floor on the packages at the heart of the
 # correctness argument: the executor (parallel merge, pipelining,
 # view maintenance) and the symbolic algebra (Algorithm 1).
@@ -53,14 +62,17 @@ cover:
 	done
 
 # fuzz-smoke gives the property-based targets a short budget: the
-# Algorithm 1 reducer against its truth-table oracle.
+# Algorithm 1 reducer against its truth-table oracle, and the fault
+# injector's site matcher against an independent reference.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReduce -fuzztime=5s ./internal/symbolic/
+	$(GO) test -run=^$$ -fuzz=FuzzSiteMatch -fuzztime=5s ./internal/faults/
 
 # check is the full verification gate: formatting, vet, the evalint
 # suite, a clean build, the test suite under the race detector, the
-# serial-vs-parallel differential matrix, the coverage floor, the
-# fault-injection stress pass and the fuzz smokes.
+# serial-vs-parallel differential matrix, the chaos differential
+# matrix, the coverage floor, the fault-injection stress pass and the
+# fuzz smokes.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -69,6 +81,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) differential
+	$(MAKE) chaos
 	$(MAKE) cover
 	$(MAKE) faults-stress
 	$(MAKE) fuzz-smoke

@@ -22,6 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor in (0, 1]; 1.0 = paper-sized")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallelJSON := flag.String("parallel-json", "", "run the parallel scan+UDF benchmark and write its JSON baseline to this path (e.g. BENCH_parallel.json)")
+	chaosJSON := flag.String("chaos-json", "", "run the chaos differential benchmark and write its JSON baseline to this path (e.g. BENCH_chaos.json)")
 	flag.Parse()
 
 	if *list {
@@ -47,6 +48,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *parallelJSON)
+		return
+	}
+
+	if *chaosJSON != "" {
+		res, err := vbench.RunChaosBench(vbench.DefaultChaosBench())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chaosJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *chaosJSON)
 		return
 	}
 

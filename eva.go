@@ -117,9 +117,13 @@ type Config struct {
 	// UDF invocations within a batch evaluate across a worker pool of
 	// this size. 0 or 1 runs the classic serial engine. Results,
 	// optimizer reports and simulated-time totals are byte-identical
-	// at every setting; only wall-clock time changes. Fault-injected
-	// runs and ModeFunCache pin themselves serial to keep their replay
-	// and hit/miss schedules deterministic.
+	// at every setting; only wall-clock time changes. This holds under
+	// fault injection and ModeFunCache too: fault decisions are keyed
+	// by call identity rather than draw order, so the injected
+	// schedule — and every downstream retry, breaker trip and
+	// degradation — replays identically at any worker count (runs with
+	// an injector or a deadline do skip pipeline stages, keeping only
+	// the apply worker pool, so aborts cannot charge prefetched work).
 	Workers int
 }
 

@@ -23,6 +23,27 @@ var sweepWorkload = []string{
 	`SELECT id FROM video CROSS APPLY ObjectDetector(frame) WHERE id >= 60 AND id < 180`,
 }
 
+// chaosRegimes are the four fault regimes the sweep and the chaos
+// differential matrix replay; installRegime maps a (regime, seed) pair
+// to the injector rules both harnesses share.
+var chaosRegimes = []string{"transient", "permanent", "crash", "deadline"}
+
+func installRegime(inj *faults.Injector, regime string, seed uint64) {
+	switch regime {
+	case "transient":
+		inj.Rule(faults.SiteUDF("*"), faults.Rule{Kind: faults.Transient, Prob: 0.08})
+		inj.Rule("view:write:*", faults.Rule{Kind: faults.Transient, Prob: 0.05})
+	case "permanent":
+		inj.Rule(faults.SiteUDF(vision.YoloTiny), faults.Rule{Kind: faults.Permanent, Prob: 1})
+	case "crash":
+		inj.Rule("view:write:*", faults.Rule{
+			Kind: faults.Crash, Prob: 0.2, ShortWrite: int(seed * 13 % 97),
+		})
+	case "deadline":
+		inj.Rule(faults.SiteDeadline, faults.Rule{Kind: faults.Permanent, At: []int{10}})
+	}
+}
+
 // runSweepWorkload executes the workload, returning per-query row
 // counts (-1 for a failed query) and errors.
 func runSweepWorkload(t *testing.T, sys *System) ([]int, []error) {
@@ -62,16 +83,17 @@ func TestFaultSweep(t *testing.T) {
 	}
 	baseViews := base.ViewRows()
 
-	// The sweep runs once serial and once at Workers=8: injected fault
-	// draws replay from one seeded stream whose consumption order is
-	// part of the contract, so the executor pins itself serial whenever
-	// an injector is attached — every schedule, outcome and view state
-	// must be identical at any worker setting.
+	// The sweep runs once serial and once at Workers=8. Fault decisions
+	// are pure functions of (seed, site, call identity) — not draws
+	// from a shared stream — so the injected schedule, every outcome
+	// and the final view state must be identical at any worker setting;
+	// TestChaosDifferentialMatrix checks the byte-level version of this
+	// claim over the testdata scripts.
 	const seeds = 24
 	injectedTotal := 0
 	for _, workers := range []int{1, 8} {
 		for seed := uint64(1); seed <= seeds; seed++ {
-			regime := []string{"transient", "permanent", "crash", "deadline"}[seed%4]
+			regime := chaosRegimes[seed%4]
 			t.Run(fmt.Sprintf("workers%d/%s-seed%d", workers, regime, seed), func(t *testing.T) {
 				dir := t.TempDir()
 				sys, err := Open(Config{Dir: dir, Mode: ModeEVA, Workers: workers})
@@ -83,19 +105,7 @@ func TestFaultSweep(t *testing.T) {
 					t.Fatal(err)
 				}
 				inj := faults.New(seed)
-				switch regime {
-				case "transient":
-					inj.Rule(faults.SiteUDF("*"), faults.Rule{Kind: faults.Transient, Prob: 0.08})
-					inj.Rule("view:write:*", faults.Rule{Kind: faults.Transient, Prob: 0.05})
-				case "permanent":
-					inj.Rule(faults.SiteUDF(vision.YoloTiny), faults.Rule{Kind: faults.Permanent, Prob: 1})
-				case "crash":
-					inj.Rule("view:write:*", faults.Rule{
-						Kind: faults.Crash, Prob: 0.2, ShortWrite: int(seed * 13 % 97),
-					})
-				case "deadline":
-					inj.Rule(faults.SiteDeadline, faults.Rule{Kind: faults.Permanent, At: []int{10}})
-				}
+				installRegime(inj, regime, seed)
 				sys.InjectFaults(inj)
 
 				rows, errs := runSweepWorkload(t, sys)

@@ -79,11 +79,15 @@ func TestAllModelsDownFailsCleanly(t *testing.T) {
 
 // TestBreakerRecoveryRestoresNominalChoice lets the tripped model's
 // virtual-time cooldown elapse and checks planning returns to it.
+// The fault rule is not Limit-bounded: breaker admission is
+// batch-granular (the executor freezes one health snapshot per batch),
+// so a rule that exhausts mid-batch would let the batch's remaining
+// admitted rows succeed and close the freshly tripped breaker again.
 func TestBreakerRecoveryRestoresNominalChoice(t *testing.T) {
 	e := newEngine(t)
 	inj := faults.New(3)
 	inj.Rule(faults.SiteUDF(vision.YoloTiny),
-		faults.Rule{Kind: faults.Permanent, Prob: 1, Limit: udf.DefaultBreakerThreshold})
+		faults.Rule{Kind: faults.Permanent, Prob: 1})
 	e.SetFaults(inj)
 	if _, err := e.Execute(sel(t, logicalSQL), optimizer.EVAMode()); err != nil {
 		t.Fatalf("degraded run failed: %v", err)

@@ -168,12 +168,20 @@ func buildNode(ctx *Context, n plan.Node) (iterator, error) {
 
 // rowResolver adapts one batch row to expr.Resolver, routing scalar
 // function calls through the UDF runtime (only inexpensive builtins
-// should remain in expressions after optimization).
+// should remain in expressions after optimization). Inside the apply
+// operator's eval phase (sink != nil) nested calls carry a derived
+// call identity and the batch's frozen breaker snapshot, so fault
+// decisions and breaker bookkeeping stay order-independent.
 type rowResolver struct {
 	ctx    *Context
 	schema types.Schema
 	batch  *types.Batch
 	row    int
+
+	id   uint64              // row's call identity (eval phase only)
+	sub  uint64              // nested-call counter within the row
+	sink *udf.OutcomeSink    // non-nil only in the eval phase
+	hs   *udf.HealthSnapshot // batch breaker snapshot (eval phase)
 }
 
 func (r *rowResolver) Resolve(name string) (types.Datum, bool) {
@@ -185,8 +193,18 @@ func (r *rowResolver) Resolve(name string) (types.Datum, bool) {
 }
 
 func (r *rowResolver) CallFn(fn string, args []types.Datum) (types.Datum, error) {
+	if r.sink != nil {
+		r.sub++
+		return r.ctx.Runtime.EvalScalarAt(fn, args, subCallID(r.id, r.sub), r.hs, r.sink)
+	}
 	return r.ctx.Runtime.EvalScalar(fn, args)
 }
+
+// subCallID derives the identity of the k-th nested scalar call made
+// while evaluating the row with identity base. Row identities are
+// small sequence numbers (< 2³²), so shifting keeps the two spaces
+// disjoint; the +1 keeps row 0's nested calls off the raw k values.
+func subCallID(base, k uint64) uint64 { return (base+1)<<32 ^ k }
 
 // --- Scan ---
 
@@ -276,6 +294,8 @@ type applyIter struct {
 	store   *storage.View
 	fuzzy   []*fuzzyIndex // per-source fuzzy bbox indexes (§6 extension)
 
+	rowSeq uint64 // serial per-query sequence assigning call identities
+
 	pendingRows *types.Batch    // buffered fresh results for the store view
 	pendingKeys [][]types.Datum // buffered processed keys
 	seenPending map[string]bool // keys already buffered this query
@@ -345,9 +365,11 @@ const viewFlushRows = 8192
 // row order.
 type rowDecision struct {
 	served   bool
-	viewRows [][]types.Datum // rows to emit for a served row
-	key      []types.Datum   // owned key copy (evaluated rows only)
-	outs     *types.Batch    // UDF output rows (evaluated rows only)
+	viewRows [][]types.Datum  // rows to emit for a served row
+	key      []types.Datum    // owned key copy (evaluated rows only)
+	id       uint64           // call identity for fault injection
+	sink     *udf.OutcomeSink // deferred breaker outcomes (evaluated rows)
+	outs     *types.Batch     // UDF output rows (evaluated rows only)
 	err      error
 }
 
@@ -434,6 +456,13 @@ func (a *applyIter) probePhase(b *types.Batch) []rowDecision {
 		}
 		if !d.served {
 			d.key = append([]types.Datum(nil), key...)
+			// Call identities are assigned here, at a serial point in
+			// input-row order, so the injected fault schedule is a
+			// function of the row's position in the serial plan — not
+			// of which worker reaches it first.
+			d.id = a.rowSeq
+			a.rowSeq++
+			d.sink = &udf.OutcomeSink{}
 		}
 	}
 	return decisions
@@ -442,7 +471,9 @@ func (a *applyIter) probePhase(b *types.Batch) []rowDecision {
 // evalPhase runs the conditional-Apply arm for every unserved row
 // across the worker pool. Each row writes only its own decision slot;
 // the Runtime and Clock are concurrency-safe, so no further locking is
-// needed.
+// needed. Breaker admission uses one frozen snapshot per batch,
+// captured here at a serial point, so every row sees the same health
+// decisions the serial engine's batch start would.
 func (a *applyIter) evalPhase(b *types.Batch, decisions []rowDecision) {
 	var evalRows []int
 	for r := range decisions {
@@ -453,16 +484,19 @@ func (a *applyIter) evalPhase(b *types.Batch, decisions []rowDecision) {
 	if len(evalRows) == 0 {
 		return
 	}
+	hs := a.ctx.Runtime.HealthSnapshot()
 	runParallel(a.ctx.workers(), len(evalRows), func(i int) {
 		r := evalRows[i]
-		decisions[r].outs, decisions[r].err = a.evalRow(b, r)
+		d := &decisions[r]
+		d.outs, d.err = a.evalRow(b, r, d, hs)
 	})
 }
 
 // evalRow evaluates the UDF for one input row, returning the output
 // rows in a.node.Out's schema. Called concurrently for distinct rows.
-func (a *applyIter) evalRow(b *types.Batch, r int) (*types.Batch, error) {
-	res := &rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b, row: r}
+func (a *applyIter) evalRow(b *types.Batch, r int, d *rowDecision, hs *udf.HealthSnapshot) (*types.Batch, error) {
+	res := &rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b, row: r,
+		id: d.id, sink: d.sink, hs: hs}
 	args := make([]types.Datum, len(a.node.Args))
 	for i, argE := range a.node.Args {
 		v, err := expr.Eval(argE, res)
@@ -475,13 +509,13 @@ func (a *applyIter) evalRow(b *types.Batch, r int) (*types.Batch, error) {
 		if len(args) != 1 || args[0].Kind() != types.KindBytes {
 			return nil, fmt.Errorf("exec: table UDF %s expects a frame argument", a.node.Eval)
 		}
-		rows, err := a.ctx.Runtime.EvalDetector(a.node.Eval, args[0].Bytes())
+		rows, err := a.ctx.Runtime.EvalDetectorAt(a.node.Eval, args[0].Bytes(), d.id, hs, d.sink)
 		if err != nil {
 			return nil, fmt.Errorf("exec: detector %s: %w", a.node.Eval, err)
 		}
 		return rows, nil
 	}
-	v, err := a.ctx.Runtime.EvalScalar(a.node.Eval, args)
+	v, err := a.ctx.Runtime.EvalScalarAt(a.node.Eval, args, d.id, hs, d.sink)
 	if err != nil {
 		return nil, fmt.Errorf("exec: udf %s: %w", a.node.Eval, err)
 	}
@@ -496,6 +530,15 @@ func (a *applyIter) evalRow(b *types.Batch, r int) (*types.Batch, error) {
 // byte-identical to serial. Errors surface in row order, so the
 // reported failure is the one the serial engine would hit first.
 func (a *applyIter) assemblePhase(b *types.Batch, decisions []rowDecision) (*types.Batch, error) {
+	// Commit the deferred breaker outcomes of every evaluated row in
+	// input order before surfacing any error: the pool evaluates all
+	// rows of the batch at every worker count (including 1), so the
+	// breaker's consecutive-failure state after the batch — and
+	// therefore trips, degradation and replans — is identical whether
+	// or not a row failed, and at any concurrency.
+	for r := range decisions {
+		a.ctx.Runtime.CommitOutcomes(decisions[r].sink)
+	}
 	out := types.NewBatchCapacity(a.node.Schema(), b.Len())
 	for r := range decisions {
 		d := &decisions[r]

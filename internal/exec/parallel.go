@@ -21,12 +21,22 @@ package exec
 // producers perform exactly the pulls the serial engine would (stages
 // are never inserted under a Limit, whose early exit would otherwise
 // let a producer prefetch — and charge for — batches the serial engine
-// never reads), and the worker pool evaluates exactly the rows the
-// serial engine would. Sums of charges commute, so scheduling order
-// cannot change any total. The one exception is a failing query: the
-// pool may have evaluated (and charged for) rows past the first error
-// before the abort propagates; the query's results are discarded
+// never reads; nor under fault injection or a query deadline, whose
+// aborts could do the same), and the worker pool evaluates exactly the
+// rows the serial engine would. Sums of charges commute, so scheduling
+// order cannot change any total. The one exception is a failing query:
+// the pool may have evaluated (and charged for) rows past the first
+// error before the abort propagates; the query's results are discarded
 // either way.
+//
+// The contract extends to fault-injected runs: fault decisions are
+// pure functions of (seed, site, call identity) rather than draws from
+// a shared stream (see internal/faults), the apply operator assigns
+// identities at a serial point (the probe phase), breaker admission is
+// frozen per batch (udf.HealthSnapshot), and breaker outcomes are
+// committed in serial row order during assembly (udf.OutcomeSink), so
+// the injected schedule, retry charges, breaker trips and degradation
+// triggers are identical at every worker count.
 
 import (
 	"sync"
@@ -43,25 +53,14 @@ import (
 const DefaultPipelineDepth = 2
 
 // workers returns the effective evaluation concurrency for this
-// execution. Parallelism is pinned to 1 (fully serial, byte-identical
-// to the legacy engine by construction) when:
-//
-//   - Workers is unset or 1;
-//   - a fault injector is attached: injected faults consume draws from
-//     a single seeded stream whose consumption order is part of the
-//     replay contract, so deterministic schedules require the serial
-//     draw order (see internal/faults);
-//   - the FunCache baseline is active: its hit/miss sequence — and the
-//     hash/store costs charged on misses — depends on evaluation
-//     order, which only the serial schedule pins down.
+// execution: Context.Workers, floored at 1. Fault injection and the
+// FunCache baseline no longer pin execution serial — fault decisions
+// are keyed by call identity instead of draw order (internal/faults),
+// and FunCache's singleflight makes its eval/store accounting
+// order-independent — though fault-injected and deadline-bounded runs
+// do forgo pipeline *stages* (see maybeStage).
 func (c *Context) workers() int {
 	if c.Workers <= 1 {
-		return 1
-	}
-	if c.Faults != nil {
-		return 1
-	}
-	if c.Runtime != nil && c.Runtime.FunCacheEnabled() {
 		return 1
 	}
 	return c.Workers
@@ -147,12 +146,15 @@ func (s *stageIter) next() (*types.Batch, error) {
 func (s *stageIter) halt() { s.once.Do(func() { close(s.stop) }) }
 
 // maybeStage wraps in with a pipeline stage when parallel execution is
-// enabled and no enclosing Limit could abandon the stream early (a
-// prefetching producer under a Limit would charge the virtual clock
-// for batches the serial engine never pulls, breaking worker-count
-// invariance of the simulated totals).
+// enabled and nothing could abandon the stream early: a prefetching
+// producer under a Limit, an injected fault, or a query deadline would
+// charge the virtual clock for batches the serial engine never pulls
+// (the serial engine stops at the first error; a stage producer races
+// ahead of it), breaking worker-count invariance of the simulated
+// totals. Fault-injected and deadline-bounded runs therefore keep the
+// parallel apply worker pool but run the operator tree unstaged.
 func (c *Context) maybeStage(in iterator) iterator {
-	if c.workers() <= 1 || c.noPipeline > 0 {
+	if c.workers() <= 1 || c.noPipeline > 0 || c.Faults != nil || c.Deadline > 0 {
 		return in
 	}
 	return c.startStage(in)

@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"eva/internal/catalog"
 	"eva/internal/expr"
@@ -95,10 +97,10 @@ func TestParallelTraceCollectsStats(t *testing.T) {
 	}
 }
 
-// TestWorkersPinning checks every branch of workers(): fault-injected
-// runs and FunCache mode must stay serial (their observable behavior
-// depends on evaluation order), everything else honors the knob.
-func TestWorkersPinning(t *testing.T) {
+// TestWorkersUnpinned: with call-identity-keyed fault injection and
+// singleflight FunCache accounting, workers() honors the knob in every
+// mode — no configuration pins execution serial anymore.
+func TestWorkersUnpinned(t *testing.T) {
 	ctx := testCtx(t, vision.Jackson)
 	if got := ctx.workers(); got != 1 {
 		t.Errorf("default workers() = %d", got)
@@ -108,13 +110,98 @@ func TestWorkersPinning(t *testing.T) {
 		t.Errorf("workers() = %d, want 8", got)
 	}
 	ctx.Faults = faults.New(1)
-	if got := ctx.workers(); got != 1 {
-		t.Errorf("workers() with injector = %d, want 1 (seeded draw order)", got)
+	if got := ctx.workers(); got != 8 {
+		t.Errorf("workers() with injector = %d, want 8 (faults no longer pin serial)", got)
 	}
 	ctx.Faults = nil
 	ctx.Runtime.SetFunCache(true)
-	if got := ctx.workers(); got != 1 {
-		t.Errorf("workers() with FunCache = %d, want 1 (hit sequence order)", got)
+	if got := ctx.workers(); got != 8 {
+		t.Errorf("workers() with FunCache = %d, want 8 (FunCache no longer pins serial)", got)
+	}
+}
+
+// TestAbortableRunsDisablePipeline: fault-injected and
+// deadline-bounded runs keep the parallel apply pool but must not
+// build pipeline stages — a prefetching producer would charge the
+// virtual clock for batches an aborting serial run never pulls.
+func TestAbortableRunsDisablePipeline(t *testing.T) {
+	pred := expr.NewCmp(expr.OpLt, colx("id"), intc(30))
+	fplan := func() plan.Node { return &plan.Filter{Input: scan(0, 100), Pred: pred} }
+
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Workers = 8
+	ctx.Faults = faults.New(1) // no rules: inert, but present
+	if out, err := Run(ctx, fplan()); err != nil || out.Len() != 30 {
+		t.Fatalf("faulted run: rows = %v, %v", out, err)
+	}
+	if len(ctx.stages) != 0 {
+		t.Errorf("%d pipeline stages built under fault injection, want 0", len(ctx.stages))
+	}
+
+	ctx2 := testCtx(t, vision.Jackson)
+	ctx2.Workers = 8
+	ctx2.Deadline = time.Hour
+	if out, err := Run(ctx2, fplan()); err != nil || out.Len() != 30 {
+		t.Fatalf("deadlined run: rows = %v, %v", out, err)
+	}
+	if len(ctx2.stages) != 0 {
+		t.Errorf("%d pipeline stages built under a deadline, want 0", len(ctx2.stages))
+	}
+
+	// Sanity: without faults or deadline the same plan does stage.
+	ctx3 := testCtx(t, vision.Jackson)
+	ctx3.Workers = 8
+	if _, err := Run(ctx3, fplan()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoGoroutineLeakOnAbort: aborted parallel runs — deadline
+// exceeded mid-query and an injected permanent fault — must not leave
+// worker or stage goroutines behind.
+func TestNoGoroutineLeakOnAbort(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Deadline exceeded mid-query at Workers=8.
+	ctx := testCtx(t, vision.MediumUADetrac)
+	ctx.Workers = 8
+	ctx.BatchSize = 4
+	ctx.Deadline = time.Millisecond
+	if _, err := Run(ctx, applyPlan(40)); err == nil {
+		t.Fatal("1ms deadline did not abort the query")
+	}
+
+	// Injected permanent fault aborts the apply operator.
+	ctx2 := testCtx(t, vision.MediumUADetrac)
+	ctx2.Workers = 8
+	ctx2.BatchSize = 4
+	inj := faults.New(3)
+	inj.Rule(faults.SiteUDF(vision.FasterRCNN50), faults.Rule{Kind: faults.Permanent, Prob: 1})
+	ctx2.Faults = inj
+	ctx2.Runtime.SetInjector(inj)
+	if _, err := Run(ctx2, applyPlan(40)); err == nil {
+		t.Fatal("injected permanent fault did not surface")
+	}
+
+	// A staged run that errors mid-pipeline (teardown path).
+	ctx3 := testCtx(t, vision.Jackson)
+	ctx3.Workers = 8
+	ctx3.BatchSize = 4
+	bad := expr.NewCmp(expr.OpEq, colx("ghost"), intc(1))
+	if _, err := Run(ctx3, &plan.Filter{Input: scan(0, 100), Pred: bad}); err == nil {
+		t.Fatal("unknown column should error")
+	}
+
+	// Give exited goroutines a moment to be reaped before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after aborted runs", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

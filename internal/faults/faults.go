@@ -1,24 +1,59 @@
 // Package faults is EVA's deterministic fault-injection framework.
 // An Injector is seeded once and thereafter makes every injection
-// decision from its own PRNG state and per-site call counters — never
-// from wall time — so a (seed, workload) pair replays the exact same
-// fault schedule on every machine. The resilience machinery it
-// exercises lives next to the fault sites: UDF retry and circuit
-// breaking in internal/udf, crash-safe view appends in
-// internal/storage, and query deadlines in internal/exec.
+// decision from a pure hash of the *call's identity* — never from wall
+// time, and never from a shared PRNG stream — so a (seed, workload)
+// pair replays the exact same fault schedule on every machine, at any
+// execution concurrency. The resilience machinery it exercises lives
+// next to the fault sites: UDF retry and circuit breaking in
+// internal/udf, crash-safe view appends in internal/storage, and query
+// deadlines in internal/exec.
+//
+// # Call-identity keying
+//
+// Early versions drew every probabilistic decision from one seeded
+// splitmix64 stream, which made the *consumption order* of draws part
+// of the replay contract and forced the parallel executor to pin
+// itself serial whenever an injector was attached. Decisions are now a
+// pure function
+//
+//	splitmix64(seed, site, id, occurrence, attempt, rule)
+//
+// of which call is being made, not of when goroutines happen to make
+// it:
+//
+//   - id is the caller-supplied logical identity of the operation
+//     (the executor's per-row invocation index for UDF eval sites, the
+//     pre-append log offset — the LSN — for view-write sites, the pull
+//     ordinal for the deadline site);
+//   - occurrence counts how many times this (site, id) pair has been
+//     attempted from scratch, so a replanned query or a rolled-back
+//     write retries against a *fresh* draw instead of deterministically
+//     re-hitting the same fault forever;
+//   - attempt is the 1-based retry attempt within one occurrence
+//     (CheckEval sites), letting scripted At rules target "the second
+//     attempt of any invocation".
 //
 // Sites are hierarchical strings ("udf:yolotiny",
 // "view:write:udf_x_frame"). Rules attach to an exact site or, with a
 // trailing "*", to every site sharing the prefix. A nil *Injector is
 // valid everywhere and injects nothing, so production call sites need
 // no guards.
+//
+// One ordering caveat survives: Rule.Limit caps firings in *arrival
+// order*, so a Limit on a site checked concurrently caps the same
+// number of firings but not necessarily the same set. Scripted
+// schedules that need exact replay under concurrency should use At,
+// Prob, or serial sites instead.
 package faults
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+
+	"eva/internal/xxhash"
 )
 
 // Kind classifies an injected fault by how the victim may react.
@@ -58,7 +93,11 @@ func (k Kind) String() string {
 type Fault struct {
 	Site string // the site that fired
 	Kind Kind
-	Call int // 1-based ordinal of the call at the site
+	// Call is the 1-based retry attempt for CheckEval sites, and the
+	// 1-based arrival ordinal of the call for Check/CheckWrite sites.
+	// Both are deterministic under concurrent execution (attempts are
+	// per-invocation; Check/CheckWrite sites are consulted serially).
+	Call int
 	// Short is the number of payload bytes a write-site crash lets
 	// through before the simulated kill (meaningful for Crash only).
 	Short int
@@ -91,9 +130,12 @@ func AsFault(err error) (*Fault, bool) {
 }
 
 // Rule configures when a site injects. A rule fires on a call when the
-// call's 1-based ordinal is listed in At, or — when At is empty — with
-// probability Prob drawn from the injector's seeded PRNG. Limit caps
-// the number of times the rule fires (0 = unlimited).
+// call's 1-based ordinal — the retry attempt for CheckEval sites, the
+// site arrival ordinal for Check/CheckWrite sites — is listed in At,
+// or, when At is empty, with probability Prob derived from the
+// injector's seed and the call's identity. Limit caps the number of
+// times the rule fires (0 = unlimited; capped in arrival order, see
+// the package comment).
 type Rule struct {
 	Kind Kind
 	Prob float64
@@ -108,34 +150,50 @@ type Rule struct {
 }
 
 // Event records one injection, for assertions and sweep reports.
+// Events are appended in firing order, which is racy for sites checked
+// concurrently; compare EventsSorted across runs instead.
 type Event struct {
 	Site string
 	Kind Kind
 	Call int
+	// ID is the logical identity of the faulted call (invocation index
+	// for eval sites, LSN for write sites, pull ordinal for ordinal
+	// sites).
+	ID uint64
 }
 
 // siteRule is one registered rule with its site pattern. Rules are
-// kept in registration order: probabilistic rules consume PRNG draws,
-// so a deterministic match order is part of the replay contract.
+// kept in registration order: the rule's index is mixed into the
+// decision hash, so a deterministic match order is part of the replay
+// contract.
 type siteRule struct {
 	pat string
 	r   *Rule
+}
+
+// occKey identifies one logical operation at one site for the
+// occurrence counters.
+type occKey struct {
+	site string
+	id   uint64
 }
 
 // Injector decides fault injection deterministically. The zero value
 // and the nil pointer inject nothing.
 type Injector struct {
 	mu    sync.Mutex
-	rng   uint64         // splitmix64 state, guarded by mu
-	rules []siteRule     // guarded by mu; registration order
-	calls map[string]int // guarded by mu
-	log   []Event        // guarded by mu
+	seed  uint64            // immutable after New
+	rules []siteRule        // guarded by mu; registration order
+	calls map[string]int    // guarded by mu; per-site arrival ordinals
+	occ   map[occKey]uint64 // guarded by mu; per-(site,id) occurrences
+	siteH map[string]uint64 // guarded by mu; memoized site hashes
+	log   []Event           // guarded by mu
 }
 
 // New returns an injector whose probabilistic decisions derive only
-// from seed and the deterministic order of site calls.
+// from seed and the identities of the calls made against it.
 func New(seed uint64) *Injector {
-	return &Injector{rng: seed, calls: map[string]int{}}
+	return &Injector{seed: seed}
 }
 
 // Rule attaches a rule to a site. A site ending in "*" matches every
@@ -143,26 +201,41 @@ func New(seed uint64) *Injector {
 func (i *Injector) Rule(site string, r Rule) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	if i.calls == nil {
-		i.calls = map[string]int{}
-	}
 	rc := r
 	i.rules = append(i.rules, siteRule{pat: site, r: &rc})
 }
 
-// next draws the next PRNG value (splitmix64; Steele et al. 2014).
-// Callers must hold mu.
-func (i *Injector) nextLocked() uint64 {
-	i.rng += 0x9e3779b97f4a7c15
-	z := i.rng
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+// splitmix64 is the finalizer of Steele et al. 2014 — a full-avalanche
+// bijection on uint64, chained below to fold the decision coordinates
+// into one uniform draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-// nextFloat draws a uniform float in [0, 1). Callers must hold mu.
-func (i *Injector) nextFloatLocked() float64 {
-	return float64(i.nextLocked()>>11) / float64(1<<53)
+// drawLocked returns the uniform [0,1) decision value for one
+// (site, id, occurrence, attempt, rule) coordinate. Callers hold mu.
+func (i *Injector) drawLocked(site string, id, occurrence uint64, attempt, ruleIdx int) float64 {
+	h := splitmix64(i.seed ^ i.siteHashLocked(site))
+	h = splitmix64(h ^ id)
+	h = splitmix64(h ^ occurrence)
+	h = splitmix64(h ^ uint64(attempt))
+	h = splitmix64(h ^ uint64(ruleIdx))
+	return float64(h>>11) / float64(1<<53)
+}
+
+func (i *Injector) siteHashLocked(site string) uint64 {
+	if h, ok := i.siteH[site]; ok {
+		return h
+	}
+	if i.siteH == nil {
+		i.siteH = map[string]uint64{}
+	}
+	h := xxhash.Sum64([]byte(site), 0)
+	i.siteH[site] = h
+	return h
 }
 
 // matches reports whether the pattern covers the site (exact, or
@@ -174,23 +247,83 @@ func matches(pat, site string) bool {
 	return pat == site
 }
 
-// Check consults the site's rules and returns an injected *Fault or
-// nil. Every call advances the site's ordinal, whether or not a rule
-// fires, so scripted At ordinals are stable under added rules.
+// Check consults the site's rules for an *ordinal-keyed* site: every
+// call advances the site's 1-based arrival ordinal (whether or not a
+// rule fires), At matches the ordinal, and probabilistic decisions are
+// keyed by it. Use it only for sites that are consulted serially (the
+// executor's deadline guard); concurrent sites need CheckEval's
+// caller-supplied identity.
 func (i *Injector) Check(site string) error {
-	f := i.decide(site)
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	call := i.arriveLocked(site)
+	f := i.decideLocked(site, uint64(call), 0, call, call)
 	if f == nil {
 		return nil
 	}
 	return f
 }
 
-// CheckWrite is Check for write sites carrying an n-byte payload. For
-// Crash faults it returns the number of payload bytes the torn write
-// lets through (rule.ShortWrite clamped to n; a scripted value past
-// the payload end degrades to a full write followed by the kill).
-func (i *Injector) CheckWrite(site string, n int) (short int, err error) {
-	f := i.decide(site)
+// CheckEval consults the site's rules for one retry attempt of one
+// logical invocation. id is the caller-assigned identity of the
+// invocation; attempt is 1-based within it. At rules match the attempt
+// number. Each fresh start of an invocation (attempt 1) opens a new
+// occurrence of (site, id), so a replanned query redraws its schedule
+// instead of deterministically re-failing.
+func (i *Injector) CheckEval(site string, id uint64, attempt int) error {
+	if i == nil {
+		return nil
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.arriveLocked(site)
+	k := occKey{site: site, id: id}
+	if i.occ == nil {
+		i.occ = map[occKey]uint64{}
+	}
+	if attempt == 1 {
+		i.occ[k]++
+	}
+	occurrence := i.occ[k]
+	if occurrence == 0 { // attempt > 1 without an opener; tolerate
+		occurrence = 1
+		i.occ[k] = 1
+	}
+	f := i.decideLocked(site, id, occurrence, attempt, attempt)
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+// CheckWrite is the write-site check, carrying an n-byte payload at
+// log position lsn. At rules match the site's arrival ordinal (write
+// sites are consulted serially, so scripted kill points stay stable);
+// probabilistic decisions are keyed by the LSN plus a per-(site, LSN)
+// occurrence, so a rolled-back append that retries at the same log
+// position draws afresh. For Crash faults it returns the number of
+// payload bytes the torn write lets through (rule.ShortWrite clamped
+// to n; a scripted value past the payload end degrades to a full write
+// followed by the kill).
+func (i *Injector) CheckWrite(site string, lsn uint64, n int) (short int, err error) {
+	if i == nil {
+		return n, nil
+	}
+	i.mu.Lock()
+	call := i.arriveLocked(site)
+	k := occKey{site: site, id: lsn}
+	if i.occ == nil {
+		i.occ = map[occKey]uint64{}
+	}
+	i.occ[k]++
+	f := i.decideLocked(site, lsn, i.occ[k], call, call)
+	i.mu.Unlock()
 	if f == nil {
 		return n, nil
 	}
@@ -208,22 +341,25 @@ func (i *Injector) CheckWrite(site string, n int) (short int, err error) {
 	return 0, f
 }
 
-// decide runs the rule machinery for one call at a site.
-func (i *Injector) decide(site string) *Fault {
-	if i == nil {
-		return nil
-	}
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	if len(i.rules) == 0 {
-		return nil
-	}
+// arriveLocked advances and returns the site's 1-based arrival
+// ordinal. Callers hold mu.
+func (i *Injector) arriveLocked(site string) int {
 	if i.calls == nil {
 		i.calls = map[string]int{}
 	}
 	i.calls[site]++
-	call := i.calls[site]
-	for _, sr := range i.rules {
+	return i.calls[site]
+}
+
+// decideLocked runs the rule machinery for one call at a site. at is
+// the ordinal matched against At rules and recorded as the fault's
+// Call; (id, occurrence, attempt) key the probabilistic draw. Callers
+// hold mu.
+func (i *Injector) decideLocked(site string, id, occurrence uint64, attempt, at int) *Fault {
+	if len(i.rules) == 0 {
+		return nil
+	}
+	for ri, sr := range i.rules {
 		if !matches(sr.pat, site) {
 			continue
 		}
@@ -233,21 +369,21 @@ func (i *Injector) decide(site string) *Fault {
 		}
 		hit := false
 		if len(r.At) > 0 {
-			for _, at := range r.At {
-				if at == call {
+			for _, want := range r.At {
+				if want == at {
 					hit = true
 					break
 				}
 			}
 		} else if r.Prob > 0 {
-			hit = i.nextFloatLocked() < r.Prob
+			hit = i.drawLocked(site, id, occurrence, attempt, ri) < r.Prob
 		}
 		if !hit {
 			continue
 		}
 		r.fired++
-		i.log = append(i.log, Event{Site: site, Kind: r.Kind, Call: call})
-		return &Fault{Site: site, Kind: r.Kind, Call: call, Short: r.ShortWrite}
+		i.log = append(i.log, Event{Site: site, Kind: r.Kind, Call: at, ID: id})
+		return &Fault{Site: site, Kind: r.Kind, Call: at, Short: r.ShortWrite}
 	}
 	return nil
 }
@@ -262,7 +398,9 @@ func (i *Injector) Calls(site string) int {
 	return i.calls[site]
 }
 
-// Events returns a copy of the injection log in firing order.
+// Events returns a copy of the injection log in firing order. Firing
+// order is racy for sites checked concurrently; use EventsSorted when
+// comparing schedules across runs.
 func (i *Injector) Events() []Event {
 	if i == nil {
 		return nil
@@ -270,6 +408,27 @@ func (i *Injector) Events() []Event {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return append([]Event(nil), i.log...)
+}
+
+// EventsSorted returns the injection log in canonical order — sorted
+// by site, identity, call and kind — which is identical across runs of
+// the same (seed, workload) at any concurrency, even though arrival
+// order is not. Differential harnesses compare this form.
+func (i *Injector) EventsSorted() []Event {
+	evs := i.Events()
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].Site != evs[b].Site {
+			return evs[a].Site < evs[b].Site
+		}
+		if evs[a].ID != evs[b].ID {
+			return evs[a].ID < evs[b].ID
+		}
+		if evs[a].Call != evs[b].Call {
+			return evs[a].Call < evs[b].Call
+		}
+		return evs[a].Kind < evs[b].Kind
+	})
+	return evs
 }
 
 // Injected returns the total number of injections so far.

@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// refMatch is an independent formulation of the hierarchical-site /
+// trailing-"*" wildcard matcher: walk both strings rune-free (sites
+// and patterns are byte-oriented) and only the final '*' of the
+// pattern is a wildcard.
+func refMatch(pat, site string) bool {
+	if pat == "" {
+		return site == ""
+	}
+	if pat[len(pat)-1] != '*' {
+		return pat == site
+	}
+	prefix := pat[:len(pat)-1]
+	if len(site) < len(prefix) {
+		return false
+	}
+	return site[:len(prefix)] == prefix
+}
+
+// FuzzSiteMatch cross-checks the rule matcher against refMatch and a
+// set of algebraic invariants, then confirms that rule registration
+// honors the matcher's verdict.
+func FuzzSiteMatch(f *testing.F) {
+	f.Add("udf:*", "udf:yolotiny")
+	f.Add("udf:yolotiny", "udf:yolotiny")
+	f.Add("view:write:*", "view:write:udf_x_frame")
+	f.Add("*", "")
+	f.Add("", "")
+	f.Add("a*b", "a*b")
+	f.Add("a**", "a*bc")
+	f.Add("*x", "zzz")
+	f.Add("exec:deadline", "exec:deadline")
+	f.Fuzz(func(t *testing.T, pat, site string) {
+		got := matches(pat, site)
+		if want := refMatch(pat, site); got != want {
+			t.Fatalf("matches(%q, %q) = %v, reference says %v", pat, site, got, want)
+		}
+		// Invariants of the matcher.
+		if !matches(site, site) {
+			t.Fatalf("exact pattern %q does not match itself", site)
+		}
+		if !matches("*", site) {
+			t.Fatalf("universal pattern rejected %q", site)
+		}
+		if !matches(site+"*", site) {
+			t.Fatalf("pattern %q* rejected its own prefix %q", site, site)
+		}
+		if got && len(pat) > 0 && pat[len(pat)-1] == '*' && !strings.HasPrefix(site, pat[:len(pat)-1]) {
+			t.Fatalf("wildcard %q matched %q without the prefix relation", pat, site)
+		}
+		// A registered rule fires at site iff the matcher accepts it.
+		inj := New(1)
+		inj.Rule(pat, Rule{Kind: Permanent, Prob: 1})
+		fired := inj.Check(site) != nil
+		if fired != got {
+			t.Fatalf("rule under %q fired=%v at %q, matcher says %v", pat, fired, site, got)
+		}
+	})
+}

@@ -420,7 +420,12 @@ func (v *View) writeLocked(out []byte) error {
 	}
 	allow := len(out)
 	var injected error
-	if short, ferr := v.inj.CheckWrite(v.site, len(out)); ferr != nil {
+	// The pre-append footprint is the record's LSN: it keys the
+	// probabilistic fault draw, so a record's fate does not depend on
+	// how many appends other views (or retries of other records) made
+	// first. A rolled-back retry of the same record redraws (the
+	// injector bumps a per-(site, LSN) occurrence counter).
+	if short, ferr := v.inj.CheckWrite(v.site, uint64(v.footprint), len(out)); ferr != nil {
 		allow, injected = short, ferr
 	}
 	var wrote int

@@ -10,6 +10,8 @@ import (
 	"eva/internal/costs"
 	"eva/internal/faults"
 	"eva/internal/simclock"
+	"eva/internal/types"
+	"eva/internal/xxhash"
 )
 
 // ErrModelUnavailable marks an evaluation rejected because the
@@ -91,6 +93,77 @@ func (r *Runtime) breakerAllow(u *catalog.UDF) error {
 		return nil // half-open probe
 	}
 	return fmt.Errorf("udf: %s: %w", u.Name, ErrModelUnavailable)
+}
+
+// HealthSnapshot is a frozen view of the circuit breakers, taken at a
+// serial point (the executor captures one per batch before fanning
+// out) so that every concurrently evaluated invocation sees the same
+// admission decisions the serial engine would. Without it, the live
+// breakerAllow reads the advancing virtual clock and an open breaker
+// could flip to half-open mid-batch at a worker-dependent row.
+type HealthSnapshot struct {
+	now      time.Duration
+	cooldown time.Duration
+	open     map[string]time.Duration // open breakers → openedAt
+}
+
+// HealthSnapshot captures the current breaker states and virtual time.
+func (r *Runtime) HealthSnapshot() *HealthSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hs := &HealthSnapshot{now: r.clock.Total(), cooldown: r.cooldownLocked()}
+	for name, b := range r.breakers {
+		if b.open {
+			if hs.open == nil {
+				hs.open = map[string]time.Duration{}
+			}
+			hs.open[name] = b.openedAt
+		}
+	}
+	return hs
+}
+
+// allow is breakerAllow against the frozen snapshot. Breaker decisions
+// become batch-granular under snapshots: every row of a batch sees the
+// state at the batch's start, at any worker count.
+func (h *HealthSnapshot) allow(u *catalog.UDF) error {
+	openedAt, open := h.open[strings.ToLower(u.Name)]
+	if !open || h.now-openedAt >= h.cooldown {
+		return nil // closed, or half-open probe
+	}
+	return fmt.Errorf("udf: %s: %w", u.Name, ErrModelUnavailable)
+}
+
+// OutcomeSink defers the breaker bookkeeping of invocation outcomes so
+// the executor can commit them in serial row order during its assemble
+// phase. Each sink belongs to a single row (one goroutine); only
+// CommitOutcomes touches shared state.
+type OutcomeSink struct {
+	outcomes []sunkOutcome
+}
+
+type sunkOutcome struct {
+	name string
+	ok   bool
+}
+
+func (s *OutcomeSink) record(name string, ok bool) {
+	s.outcomes = append(s.outcomes, sunkOutcome{name: name, ok: ok})
+}
+
+// CommitOutcomes applies a row's deferred invocation outcomes to the
+// circuit breakers. The executor calls it row by row in input order,
+// so consecutive-failure counts — and therefore breaker trips,
+// degradation triggers and replans — fire at the same row at every
+// worker count. Nil sinks and empty sinks are no-ops.
+func (r *Runtime) CommitOutcomes(sink *OutcomeSink) {
+	if sink == nil {
+		return
+	}
+	for _, o := range sink.outcomes {
+		r.noteOutcome(o.name, o.ok)
+	}
+	sink.outcomes = nil
 }
 
 func (r *Runtime) cooldownLocked() time.Duration {
@@ -179,29 +252,60 @@ func (r *Runtime) countRetry(name string) {
 	r.retried[strings.ToLower(name)]++
 }
 
+// EvalIdentity derives a call identity for fault injection from the
+// invocation's arguments — the fallback used by the legacy entry
+// points (expression-level scalar calls, direct Runtime callers),
+// which have no executor-assigned invocation index. Identical
+// arguments yield the same identity, so a FunCache claimant draws the
+// same schedule no matter which row claims the key.
+func EvalIdentity(udfName string, args []types.Datum) uint64 {
+	return xxhash.Sum64(rawArgs(udfName, args), 0)
+}
+
 // evalResilient runs one UDF invocation with transient-fault retry and
 // circuit breaking. eval performs a single attempt (and must wrap its
 // own errors with the UDF name). Every attempt — failed or not — is
 // charged the model's profiled cost; backoff between attempts is
 // charged to the Retry category so resilience shows up in the
 // simulated-time breakdown.
-func (r *Runtime) evalResilient(u *catalog.UDF, eval func() error) error {
-	if err := r.breakerAllow(u); err != nil {
+//
+// id keys the injector's per-invocation fault decisions (see
+// faults.CheckEval). hs, when non-nil, replaces the live breaker
+// admission check with a frozen batch-level snapshot; sink, when
+// non-nil, defers the breaker outcome for a serial-order commit via
+// CommitOutcomes. The executor's parallel apply path supplies all
+// three; legacy callers pass a zero id (harmless without an injector)
+// and nil for both, keeping the immediate-commit behavior. The
+// demand/failure counters always commit immediately: they are sums,
+// so scheduling order cannot change their totals.
+func (r *Runtime) evalResilient(u *catalog.UDF, id uint64, hs *HealthSnapshot, sink *OutcomeSink, eval func() error) error {
+	if hs != nil {
+		if err := hs.allow(u); err != nil {
+			return err
+		}
+	} else if err := r.breakerAllow(u); err != nil {
 		return err
+	}
+	commit := func(ok bool) {
+		if sink != nil {
+			sink.record(u.Name, ok)
+		} else {
+			r.noteOutcome(u.Name, ok)
+		}
 	}
 	max := r.maxAttempts()
 	site := faults.SiteUDF(u.Name)
 	for attempt := 1; ; attempt++ {
 		r.clock.Charge(simclock.CatUDF, u.Cost)
 		var err error
-		if ferr := r.injector().Check(site); ferr != nil {
+		if ferr := r.injector().CheckEval(site, id, attempt); ferr != nil {
 			err = fmt.Errorf("udf: %s: %w", u.Name, ferr)
 		} else {
 			err = eval()
 		}
 		if err == nil {
 			r.countEval(u.Name)
-			r.noteOutcome(u.Name, true)
+			commit(true)
 			return nil
 		}
 		r.countFailed(u.Name, faults.IsTransient(err))
@@ -210,7 +314,7 @@ func (r *Runtime) evalResilient(u *catalog.UDF, eval func() error) error {
 			r.countRetry(u.Name)
 			continue
 		}
-		r.noteOutcome(u.Name, false)
+		commit(false)
 		if attempt > 1 {
 			return fmt.Errorf("%w: %s after %d attempts: %w", ErrEvalFailed, u.Name, attempt, err)
 		}

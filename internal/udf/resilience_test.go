@@ -74,13 +74,16 @@ func TestRetryPaths(t *testing.T) {
 			wantFail: 1,
 		},
 		{
-			name:      "transient fault on second invocation only",
-			rule:      faults.Rule{Kind: faults.Transient, At: []int{2}},
+			// At matches the retry attempt, so Limit bounds the blast
+			// radius across invocations: the first invocation's attempt
+			// 1 faults (and retries clean), the second runs untouched.
+			name:      "limit confines fault to first invocation",
+			rule:      faults.Rule{Kind: faults.Transient, At: []int{1}, Limit: 1},
 			calls:     2,
 			wantEval:  2,
 			wantFail:  1,
 			wantRetry: 1,
-			// One backoff; the first invocation never failed.
+			// One backoff; the second invocation never failed.
 			wantBackoff: costs.RetryBackoff(2),
 		},
 	}

@@ -225,8 +225,24 @@ func rawArgs(udfName string, args []types.Datum) []byte {
 
 // EvalDetector runs a table UDF (object detector) on one frame,
 // returning detection rows in catalog.DetectorSchema. The profiled
-// per-tuple cost is charged unless FunCache serves the call.
+// per-tuple cost is charged unless FunCache serves the call. Fault
+// decisions are keyed by the argument-derived identity; callers with
+// an executor-assigned invocation index use EvalDetectorAt.
 func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error) {
+	var id uint64
+	if r.injector() != nil {
+		id = EvalIdentity(name, []types.Datum{types.NewBytes(payload)})
+	}
+	return r.EvalDetectorAt(name, payload, id, nil, nil)
+}
+
+// EvalDetectorAt is EvalDetector with an explicit call identity for
+// fault injection plus the executor's batch-level breaker snapshot and
+// per-row outcome sink (both optional; see evalResilient). With
+// FunCache enabled the identity is re-derived from the arguments so
+// the injected schedule does not depend on which of several
+// same-argument rows wins the singleflight claim.
+func (r *Runtime) EvalDetectorAt(name string, payload []byte, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (*types.Batch, error) {
 	u, err := r.cat.UDF(name)
 	if err != nil {
 		return nil, err
@@ -236,7 +252,9 @@ func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error
 	}
 	args := []types.Datum{types.NewBytes(payload)}
 	if r.isFunCache() {
-		key := r.hashArgs(virtualArgBytes(args), rawArgs(u.Name, args))
+		raw := rawArgs(u.Name, args)
+		key := r.hashArgs(virtualArgBytes(args), raw)
+		id = key.Hi ^ key.Lo // claimant-independent identity
 		// lint:nolock the accessor closure runs under mu inside claimFlight
 		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]*types.Batch { return r.tableC }, key)
 		if hit {
@@ -244,7 +262,7 @@ func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error
 			return cached, nil
 		}
 		defer done()
-		out, err := r.runDetector(u, payload)
+		out, err := r.runDetector(u, payload, id, hs, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -254,12 +272,12 @@ func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error
 		r.mu.Unlock()
 		return out, nil
 	}
-	return r.runDetector(u, payload)
+	return r.runDetector(u, payload, id, hs, sink)
 }
 
-func (r *Runtime) runDetector(u *catalog.UDF, payload []byte) (*types.Batch, error) {
+func (r *Runtime) runDetector(u *catalog.UDF, payload []byte, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (*types.Batch, error) {
 	var out *types.Batch
-	err := r.evalResilient(u, func() error {
+	err := r.evalResilient(u, id, hs, sink, func() error {
 		dets, err := vision.Detect(u.Name, payload)
 		if err != nil {
 			return fmt.Errorf("udf: %s: %w", u.Name, err)
@@ -282,7 +300,23 @@ func (r *Runtime) runDetector(u *catalog.UDF, payload []byte) (*types.Batch, err
 }
 
 // EvalScalar runs a scalar UDF over one input tuple's argument values.
+// Fault decisions are keyed by the argument-derived identity; callers
+// with an executor-assigned invocation index use EvalScalarAt.
 func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, error) {
+	var id uint64
+	if r.injector() != nil {
+		id = EvalIdentity(name, args)
+	}
+	return r.EvalScalarAt(name, args, id, nil, nil)
+}
+
+// EvalScalarAt is EvalScalar with an explicit call identity for fault
+// injection plus the executor's batch-level breaker snapshot and
+// per-row outcome sink (both optional; see evalResilient). With
+// FunCache enabled the identity is re-derived from the arguments so
+// the injected schedule does not depend on which of several
+// same-argument rows wins the singleflight claim.
+func (r *Runtime) EvalScalarAt(name string, args []types.Datum, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (types.Datum, error) {
 	u, err := r.cat.UDF(name)
 	if err != nil {
 		return types.Null, err
@@ -291,7 +325,9 @@ func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, erro
 		return types.Null, fmt.Errorf("udf: %s is not a scalar UDF", name)
 	}
 	if r.isFunCache() && u.Expensive {
-		key := r.hashArgs(virtualArgBytes(args), rawArgs(u.Name, args))
+		raw := rawArgs(u.Name, args)
+		key := r.hashArgs(virtualArgBytes(args), raw)
+		id = key.Hi ^ key.Lo // claimant-independent identity
 		// lint:nolock the accessor closure runs under mu inside claimFlight
 		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]types.Datum { return r.scalarC }, key)
 		if hit {
@@ -299,7 +335,7 @@ func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, erro
 			return cached, nil
 		}
 		defer done()
-		out, err := r.runScalar(u, args)
+		out, err := r.runScalar(u, args, id, hs, sink)
 		if err != nil {
 			return types.Null, err
 		}
@@ -309,12 +345,12 @@ func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, erro
 		r.mu.Unlock()
 		return out, nil
 	}
-	return r.runScalar(u, args)
+	return r.runScalar(u, args, id, hs, sink)
 }
 
-func (r *Runtime) runScalar(u *catalog.UDF, args []types.Datum) (types.Datum, error) {
+func (r *Runtime) runScalar(u *catalog.UDF, args []types.Datum, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (types.Datum, error) {
 	var out types.Datum
-	err := r.evalResilient(u, func() error {
+	err := r.evalResilient(u, id, hs, sink, func() error {
 		var err error
 		switch {
 		case strings.HasPrefix(u.Impl, "builtin:"):
@@ -393,10 +429,12 @@ func (r *Runtime) isFunCache() bool {
 	return r.funCache
 }
 
-// FunCacheEnabled reports whether the FunCache baseline is active. The
-// parallel executor pins itself serial while it is: the cache's
-// hit/miss sequence — and the hash/store costs charged on misses —
-// depends on evaluation order, which only the serial schedule fixes.
+// FunCacheEnabled reports whether the FunCache baseline is active.
+// The executor no longer pins itself serial while it is: per-key
+// singleflight (claimFlight) makes the eval/store counts and charged
+// miss costs order-independent, and fault identities are derived from
+// the argument hash so the injected schedule does not depend on which
+// row wins a claim.
 func (r *Runtime) FunCacheEnabled() bool { return r.isFunCache() }
 
 // claimFlight implements per-key singleflight for the FunCache: it
