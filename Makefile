@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench faults-stress differential chaos cover fuzz-smoke
+.PHONY: build test race lint check bench faults-stress differential chaos server-stress cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,16 @@ differential:
 chaos:
 	$(GO) test -race -run 'TestChaosDifferentialMatrix|TestFunCacheParallelDifferential|TestFunCacheFaultSmoke' .
 
+# server-stress runs the serving layer's verification under the race
+# detector: the multi-session chaos matrix (every testdata script ×
+# seeded fault regimes × Workers ∈ {1,2,8}, N concurrent sessions each
+# byte-matching its solo run), the shared-view singleflight race, the
+# typed admission/budget error paths, draining Close, and cross-session
+# reuse determinism. See DESIGN.md "Multi-session serving layer".
+server-stress:
+	$(GO) test -race -run 'TestMultiSessionChaosMatrix|TestSharedViewSingleflight|TestAdmissionOverloadTyped|TestAdmissionQueueTimeoutTyped|TestMemoryBudgetTyped|TestCloseDrainsInFlight|TestCrossSessionReuseDeterminism' .
+	$(GO) test -race ./internal/server/
+
 # cover enforces a coverage floor on the packages at the heart of the
 # correctness argument: the executor (parallel merge, pipelining,
 # view maintenance) and the symbolic algebra (Algorithm 1).
@@ -71,8 +81,8 @@ fuzz-smoke:
 # check is the full verification gate: formatting, vet, the evalint
 # suite, a clean build, the test suite under the race detector, the
 # serial-vs-parallel differential matrix, the chaos differential
-# matrix, the coverage floor, the fault-injection stress pass and the
-# fuzz smokes.
+# matrix, the multi-session serving-layer stress, the coverage floor,
+# the fault-injection stress pass and the fuzz smokes.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -82,6 +92,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) differential
 	$(MAKE) chaos
+	$(MAKE) server-stress
 	$(MAKE) cover
 	$(MAKE) faults-stress
 	$(MAKE) fuzz-smoke

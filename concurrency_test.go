@@ -2,6 +2,7 @@ package eva
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -155,4 +156,50 @@ func TestConcurrentMetricsReads(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// TestCrossSessionReuseDeterminism: after session A populates a view,
+// session B's refinement must reuse it exactly as a scripted serial
+// run through the System path would — the same rows, the same
+// optimizer reuse decisions, and the same system-wide hit percentage.
+// Cross-session reuse is deterministic, not best-effort.
+func TestCrossSessionReuseDeterminism(t *testing.T) {
+	populate := `SELECT id, label FROM video CROSS APPLY FasterRCNNResnet50(frame) WHERE id < 60`
+	refine := `SELECT id FROM video CROSS APPLY FasterRCNNResnet50(frame) WHERE id < 40 AND label = 'car'`
+
+	base := openSystem(t, ModeEVA)
+	if _, err := base.Exec(populate); err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Exec(refine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHit := base.HitPercentage()
+
+	sys := openSystem(t, ModeEVA)
+	a, b := sys.NewSession(), sys.NewSession()
+	if _, err := a.Exec(populate); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Exec(refine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(got.Rows) != Format(want.Rows) {
+		t.Error("session B's rows diverge from the serial baseline")
+	}
+	var wantRep, gotRep strings.Builder
+	writeReportDigest(&wantRep, want.Report)
+	writeReportDigest(&gotRep, got.Report)
+	if gotRep.String() != wantRep.String() {
+		t.Errorf("session B's reuse decisions diverged:\nserial:\n%s\nsession:\n%s",
+			wantRep.String(), gotRep.String())
+	}
+	if hit := sys.HitPercentage(); hit != wantHit {
+		t.Errorf("hit%% after cross-session reuse = %v, serial baseline = %v", hit, wantHit)
+	}
+	if hit := sys.HitPercentage(); hit == 0 {
+		t.Error("refinement recorded no reuse at all")
+	}
 }

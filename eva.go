@@ -23,9 +23,11 @@
 package eva
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"eva/internal/baselines"
@@ -36,6 +38,7 @@ import (
 	"eva/internal/optimizer"
 	"eva/internal/parser"
 	"eva/internal/plan"
+	"eva/internal/server"
 	"eva/internal/simclock"
 	"eva/internal/storage"
 	"eva/internal/types"
@@ -125,11 +128,51 @@ type Config struct {
 	// an injector or a deadline do skip pipeline stages, keeping only
 	// the apply worker pool, so aborts cannot charge prefetched work).
 	Workers int
+	// MaxConcurrent bounds the number of queries executing at once
+	// across the System and all of its Sessions. 0 disables admission
+	// control entirely (unlimited, no queueing, no shedding).
+	MaxConcurrent int
+	// AdmissionQueueDepth bounds how many queries may wait for a
+	// concurrency token when MaxConcurrent is saturated; a query
+	// arriving to a full queue is shed immediately with ErrOverloaded.
+	// 0 means shed as soon as MaxConcurrent is reached.
+	AdmissionQueueDepth int
+	// QueueTimeout is the *virtual-clock* wait budget of a queued
+	// query: the admission clock advances by each finishing query's
+	// simulated cost, and a waiter whose budget elapses is shed with
+	// ErrQueueTimeout. 0 means queued queries time out at the next
+	// query completion.
+	QueueTimeout time.Duration
+	// MemoryBudget caps each query's estimated materialized bytes
+	// (scan batches in flight, sort buffers, view-append staging). The
+	// executor degrades first — halves scan batches, flushes view
+	// staging early — and aborts with ErrMemoryBudget only when the
+	// floor still does not fit. 0 means unlimited.
+	MemoryBudget int64
 }
 
 // ErrDeadlineExceeded is returned (wrapped) by Exec when a query
 // exhausts Config.QueryDeadline; test with errors.Is.
 var ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+
+// Typed serving-layer errors; test with errors.Is.
+var (
+	// ErrClosed is returned by Exec on a closed System or Session.
+	ErrClosed = errors.New("eva: system closed")
+	// ErrOverloaded is returned when the admission queue is full: the
+	// query was shed immediately, nothing executed.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrQueueTimeout is returned when a queued query's virtual-clock
+	// wait budget elapsed before a concurrency token freed up.
+	ErrQueueTimeout = server.ErrQueueTimeout
+	// ErrMemoryBudget is returned (wrapped) when a query exceeds
+	// Config.MemoryBudget even after degradation.
+	ErrMemoryBudget = server.ErrMemoryBudget
+)
+
+// AdmissionStats is a snapshot of admission-control outcomes:
+// admitted/shed counts and virtual queue-wait percentiles.
+type AdmissionStats = server.Stats
 
 // Result is the outcome of executing one statement.
 type Result struct {
@@ -148,14 +191,32 @@ type Result struct {
 }
 
 // System is an EVA instance: the public facade over the semantic reuse
-// engine of internal/core.
+// engine of internal/core. One System serves any number of concurrent
+// Sessions (see NewSession); queries from the System itself and from
+// every Session pass the same admission controller.
 type System struct {
 	cfg     Config
 	tempDir string
 
 	eng   *core.Engine
 	store *storage.Engine
-	rec   *baselines.Recycler
+	ctl   *server.Controller // nil when admission control is off
+
+	// qmu is the lifecycle lock: every executing statement holds it
+	// for reading, Close takes it for writing to drain in-flight
+	// queries before tearing state down.
+	qmu sync.RWMutex
+	// closed flips once; statements arriving after see ErrClosed.
+	// guarded by qmu.
+	closed bool
+
+	closeOnce sync.Once
+	closeErr  error
+
+	recMu sync.Mutex
+	// rec is the HashStash recycler graph, swapped on DropViews.
+	// guarded by recMu.
+	rec *baselines.Recycler
 }
 
 // Internal accessors keeping the method bodies readable.
@@ -192,16 +253,41 @@ func Open(cfg Config) (*System, error) {
 		store: store,
 		rec:   baselines.NewRecycler(),
 	}
+	if cfg.MaxConcurrent > 0 {
+		s.ctl = server.NewController(server.Config{
+			MaxConcurrent: cfg.MaxConcurrent,
+			QueueDepth:    cfg.AdmissionQueueDepth,
+			QueueTimeout:  cfg.QueueTimeout,
+		})
+	}
 	return s, nil
 }
 
-// Close releases resources (and removes the storage directory when it
-// was temporary).
+// Close drains in-flight queries, closes the storage engine, and
+// removes the storage directory when it was temporary. Idempotent and
+// safe to call concurrently with executing statements: statements that
+// began before Close complete normally, statements arriving after fail
+// with ErrClosed.
 func (s *System) Close() error {
-	if s.tempDir != "" {
-		return os.RemoveAll(s.tempDir)
-	}
-	return nil
+	s.closeOnce.Do(func() {
+		s.markClosed()
+		err := s.store.Close()
+		if s.tempDir != "" {
+			if rerr := os.RemoveAll(s.tempDir); err == nil {
+				err = rerr
+			}
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
+}
+
+// markClosed waits for every in-flight statement (they hold qmu for
+// reading) and flips the closed flag.
+func (s *System) markClosed() {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	s.closed = true
 }
 
 // optimizerMode maps the system mode onto optimizer knobs.
@@ -232,15 +318,17 @@ func (s *System) optimizerMode() optimizer.Mode {
 }
 
 // ViewRows reports the number of materialized result rows per view —
-// the convergence metric of Fig. 8(b).
+// the convergence metric of Fig. 8(b). The snapshot is taken under one
+// engine lock, so it is safe (and consistent in its name set) against
+// queries creating views concurrently.
 func (s *System) ViewRows() map[string]int {
-	out := map[string]int{}
-	for _, name := range s.store.Views() {
-		if v := s.store.View(name); v != nil {
-			out[name] = v.Rows()
-		}
-	}
-	return out
+	return s.store.ViewRowCounts()
+}
+
+// AdmissionStats snapshots the admission controller's outcomes. Zero
+// when admission control is off.
+func (s *System) AdmissionStats() AdmissionStats {
+	return s.ctl.Stats()
 }
 
 // Exec parses and executes one EVA-QL statement.
@@ -269,38 +357,57 @@ func (s *System) ExecScript(sql string) (*Result, error) {
 	return last, nil
 }
 
-// ExecStmt executes one parsed statement.
+// ExecStmt executes one parsed statement. Under admission control
+// (Config.MaxConcurrent) the statement first acquires a concurrency
+// token — possibly shedding with ErrOverloaded or ErrQueueTimeout —
+// and its simulated cost advances the admission clock on completion.
 func (s *System) ExecStmt(stmt parser.Statement) (*Result, error) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	g, err := s.ctl.Admit()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	snap := s.clock().Snapshot()
-	res := &Result{}
-	var err error
-	switch st := stmt.(type) {
-	case *parser.SelectStmt:
-		res, err = s.execSelect(st)
-	case *parser.LoadStmt:
-		err = s.LoadVideo(st.Table, st.Dataset)
-	case *parser.CreateUDFStmt:
-		err = s.createUDF(st)
-	case *parser.ShowStmt:
-		res, err = s.execShow(st)
-	case *parser.ExplainStmt:
-		res, err = s.execExplain(st)
-	case *parser.DropViewsStmt:
-		err = s.DropViews()
-	default:
-		err = fmt.Errorf("eva: unsupported statement %T", stmt)
-	}
+	res, err := s.dispatch(stmt)
+	bd := s.clock().Since(snap)
+	g.Release(bd.Total())
 	if err != nil {
 		return nil, err
 	}
 	if res == nil {
 		res = &Result{}
 	}
-	res.Breakdown = s.clock().Since(snap)
-	res.SimTime = res.Breakdown.Total()
+	res.Breakdown = bd
+	res.SimTime = bd.Total()
 	res.WallTime = time.Since(start)
 	return res, nil
+}
+
+// dispatch routes one parsed statement to its handler. Shared by the
+// System path (global clock) and, for non-SELECT statements, by the
+// Session path.
+func (s *System) dispatch(stmt parser.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *parser.SelectStmt:
+		return s.execSelect(st)
+	case *parser.LoadStmt:
+		return nil, s.LoadVideo(st.Table, st.Dataset)
+	case *parser.CreateUDFStmt:
+		return nil, s.createUDF(st)
+	case *parser.ShowStmt:
+		return s.execShow(st)
+	case *parser.ExplainStmt:
+		return s.execExplain(st)
+	case *parser.DropViewsStmt:
+		return nil, s.DropViews()
+	default:
+		return nil, fmt.Errorf("eva: unsupported statement %T", stmt)
+	}
 }
 
 func (s *System) execSelect(stmt *parser.SelectStmt) (*Result, error) {
@@ -311,22 +418,52 @@ func (s *System) execSelect(stmt *parser.SelectStmt) (*Result, error) {
 		// apply operator against previously materialized outputs; the
 		// coverage callback implements its all-or-nothing reuse rule.
 		mode.TableCovered = func(udfName string, lo, hi int64) bool {
-			return s.rec.Covered(recyclerKey(table, udfName), lo, hi)
+			return s.recCovered(recyclerKey(table, udfName), lo, hi)
 		}
 	}
-	out, err := s.eng.Execute(stmt, mode)
+	var (
+		out *core.Outcome
+		err error
+	)
+	if s.cfg.MemoryBudget > 0 {
+		out, err = s.eng.ExecuteWith(stmt, mode, core.ExecOpts{
+			Budget: server.NewMemBudget(s.cfg.MemoryBudget),
+		})
+	} else {
+		out, err = s.eng.Execute(stmt, mode)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if s.cfg.Mode == ModeHashStash && out.Report.DetectorEval != "" {
 		// Register the freshly materialized operator output.
-		s.rec.Add(recyclerKey(table, out.Report.DetectorEval), out.Report.ScanLo, out.Report.ScanHi)
+		s.recAdd(recyclerKey(table, out.Report.DetectorEval), out.Report.ScanLo, out.Report.ScanHi)
 	}
 	return &Result{Rows: out.Rows, PlanText: plan.Explain(out.Plan), Report: out.Report}, nil
 }
 
 func recyclerKey(table, udfName string) string {
 	return "apply:" + strings.ToLower(udfName) + "@scan:" + table
+}
+
+// recCovered, recAdd and recReset guard the HashStash recycler, which
+// DropViews swaps out from under concurrent queries.
+func (s *System) recCovered(key string, lo, hi int64) bool {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.rec.Covered(key, lo, hi)
+}
+
+func (s *System) recAdd(key string, lo, hi int64) {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	s.rec.Add(key, lo, hi)
+}
+
+func (s *System) recReset() {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	s.rec = baselines.NewRecycler()
 }
 
 // execExplain optimizes without mutating reuse state; with ANALYZE it
@@ -366,7 +503,7 @@ func (s *System) DropViews() error {
 		return err
 	}
 	s.mgr().Reset()
-	s.rec = baselines.NewRecycler()
+	s.recReset()
 	return nil
 }
 
@@ -521,8 +658,13 @@ func (s *System) SimulatedBreakdown() Breakdown {
 }
 
 // ResetMetrics clears counters and the clock but keeps materialized
-// state (used between measurement phases).
+// state (used between measurement phases). It waits out in-flight
+// queries, so the clock and the UDF counters reset as one atomic
+// point — a reset can never land between a query's clock charges and
+// its counter updates.
 func (s *System) ResetMetrics() {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
 	s.clock().Reset()
 	s.rt().ResetCounters()
 }

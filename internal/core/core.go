@@ -25,6 +25,7 @@ import (
 	"eva/internal/optimizer"
 	"eva/internal/parser"
 	"eva/internal/plan"
+	"eva/internal/server"
 	"eva/internal/simclock"
 	"eva/internal/storage"
 	"eva/internal/types"
@@ -98,29 +99,72 @@ type Outcome struct {
 
 // Execute runs a SELECT through the full pipeline under the mode.
 func (e *Engine) Execute(stmt *parser.SelectStmt, mode optimizer.Mode) (*Outcome, error) {
-	return e.execute(stmt, mode, false)
+	return e.execute(stmt, mode, false, ExecOpts{})
 }
 
 // ExecuteTraced is Execute with per-operator instrumentation.
 func (e *Engine) ExecuteTraced(stmt *parser.SelectStmt, mode optimizer.Mode) (*Outcome, error) {
-	return e.execute(stmt, mode, true)
+	return e.execute(stmt, mode, true, ExecOpts{})
 }
 
-func (e *Engine) execute(stmt *parser.SelectStmt, mode optimizer.Mode, traced bool) (*Outcome, error) {
+// ExecOpts carries one session's execution context over the shared
+// engine: its own virtual clock and UDF domain (breaker state, fault
+// schedule), its own fault injector, and its query memory budget. Any
+// nil field falls back to the engine's shared state. Sessions switches
+// on the executor's shared-view protocol (store-view probing, per-key
+// claims, per-batch publication) so concurrent sessions reuse one
+// another's results instead of recomputing them.
+type ExecOpts struct {
+	Clock    *simclock.Clock
+	Domain   *udf.Domain
+	Faults   *faults.Injector
+	Budget   *server.MemBudget
+	Sessions bool
+}
+
+// ExecuteWith runs a SELECT with per-session execution options: costs
+// are charged to the session's clock and UDF evaluation goes through
+// the session's domain.
+func (e *Engine) ExecuteWith(stmt *parser.SelectStmt, mode optimizer.Mode, opts ExecOpts) (*Outcome, error) {
+	return e.execute(stmt, mode, false, opts)
+}
+
+func (e *Engine) execute(stmt *parser.SelectStmt, mode optimizer.Mode, traced bool, opts ExecOpts) (*Outcome, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = e.Clock
+	}
+	inj := opts.Faults
+	if !opts.Sessions {
+		inj = e.faults
+	}
+	// The optimizer is a small value over shared catalog/manager state;
+	// a session run gets a shallow clone charging the session's clock
+	// and consulting the session's breaker health.
+	opt := e.Opt
+	if opts.Clock != nil || opts.Domain != nil {
+		c := *e.Opt
+		c.Clock = clock
+		if opts.Domain != nil {
+			c.Health = opts.Domain
+		}
+		opt = &c
+	}
 	// Replan-on-breaker loop: when a model's circuit breaker trips
 	// mid-execution, the plan's eval target is now known-unhealthy, so
 	// re-optimizing lets the health filter re-run Algorithm 2 over the
 	// remaining models implementing the logical task (graceful
 	// degradation) instead of failing the query.
 	for attempt := 0; ; attempt++ {
-		optRes, err := e.Opt.Optimize(stmt, mode)
+		optRes, err := opt.Optimize(stmt, mode)
 		if err != nil {
 			return nil, err
 		}
 		ctx := &exec.Context{
-			Store: e.Store, Runtime: e.Runtime, Clock: e.Clock,
-			BatchSize: e.batchSize, Faults: e.faults, Deadline: e.Deadline,
+			Store: e.Store, Runtime: e.Runtime, Clock: clock,
+			BatchSize: e.batchSize, Faults: inj, Deadline: e.Deadline,
 			Workers: e.Workers,
+			Domain:  opts.Domain, Budget: opts.Budget, Sessions: opts.Sessions,
 		}
 		var trace *exec.Trace
 		if traced {

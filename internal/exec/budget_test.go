@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"eva/internal/plan"
+	"eva/internal/server"
+	"eva/internal/vision"
+)
+
+// measureScan drains a plain scan with no budget, returning the total
+// row count and the largest single-batch encoded size it produced.
+func measureScan(t *testing.T, hi int64) (rows int, maxBatch int64) {
+	t.Helper()
+	ctx := testCtx(t, vision.Jackson)
+	it, err := build(ctx, scan(0, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		b, err := it.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			return rows, maxBatch
+		}
+		rows += b.Len()
+		if sz := int64(b.EncodedSize()); sz > maxBatch {
+			maxBatch = sz
+		}
+	}
+}
+
+// TestScanBudgetDegradesBeforeAbort is the executable form of the
+// degrade-before-abort contract: a budget one byte too small for a
+// full-width scan batch must shrink the batch (recording the
+// degradation) and still return every row; only a budget below the
+// floor-width batch aborts, and then with the typed ErrMemoryBudget.
+func TestScanBudgetDegradesBeforeAbort(t *testing.T) {
+	wantRows, maxBatch := measureScan(t, 200)
+	if wantRows == 0 || maxBatch == 0 {
+		t.Fatalf("measurement run empty: rows=%d maxBatch=%d", wantRows, maxBatch)
+	}
+
+	// One byte under a full batch: the scan must halve its width, note
+	// the degradation, and complete with identical cardinality.
+	ctx := testCtx(t, vision.Jackson)
+	bud := server.NewMemBudget(maxBatch - 1)
+	ctx.Budget = bud
+	out, err := Run(ctx, scan(0, 200))
+	if err != nil {
+		t.Fatalf("degraded scan failed instead of shrinking: %v", err)
+	}
+	if out.Len() != wantRows {
+		t.Errorf("degraded scan rows = %d, want %d", out.Len(), wantRows)
+	}
+	if bud.Degrades() == 0 {
+		t.Error("budget one byte under a full batch recorded no degradation")
+	}
+	if bud.Peak() > bud.Limit() {
+		t.Errorf("peak %d exceeded limit %d", bud.Peak(), bud.Limit())
+	}
+
+	// A budget below any batch at the floor width cannot be satisfied
+	// by degrading: the query aborts with the typed error.
+	ctx2 := testCtx(t, vision.Jackson)
+	ctx2.Budget = server.NewMemBudget(1)
+	if _, err := Run(ctx2, scan(0, 200)); !errors.Is(err, server.ErrMemoryBudget) {
+		t.Errorf("floor-width breach error = %v, want ErrMemoryBudget", err)
+	}
+}
+
+// TestSortBudgetAborts: a blocking sort cannot degrade — it must hold
+// its whole input — so a budget smaller than the input aborts with the
+// typed error, while an adequate one sorts normally and releases its
+// reservation.
+func TestSortBudgetAborts(t *testing.T) {
+	sortPlan := func() plan.Node {
+		return &plan.Sort{Input: scan(0, 100), Keys: []plan.SortKey{{Col: "id", Desc: true}}}
+	}
+
+	ctx := testCtx(t, vision.Jackson)
+	ctx.Budget = server.NewMemBudget(64) // far below 100 rows of frames
+	if _, err := Run(ctx, sortPlan()); !errors.Is(err, server.ErrMemoryBudget) {
+		t.Errorf("undersized sort error = %v, want ErrMemoryBudget", err)
+	}
+
+	ctx2 := testCtx(t, vision.Jackson)
+	bud := server.NewMemBudget(1 << 30)
+	ctx2.Budget = bud
+	out, err := Run(ctx2, sortPlan())
+	if err != nil || out.Len() != 100 {
+		t.Fatalf("funded sort: rows = %v, %v", out, err)
+	}
+	if out.At(0, 0).Int() != 99 {
+		t.Errorf("sort order wrong: first id = %d, want 99", out.At(0, 0).Int())
+	}
+	if bud.Peak() == 0 {
+		t.Error("funded sort charged nothing to the budget")
+	}
+}

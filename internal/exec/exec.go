@@ -15,6 +15,7 @@ import (
 	"eva/internal/expr"
 	"eva/internal/faults"
 	"eva/internal/plan"
+	"eva/internal/server"
 	"eva/internal/simclock"
 	"eva/internal/storage"
 	"eva/internal/types"
@@ -46,6 +47,25 @@ type Context struct {
 	// runs the classic serial engine. Results, reports and virtual
 	// clock totals are byte-identical at every setting.
 	Workers int
+	// Domain routes UDF evaluation, fault draws and breaker state
+	// through a session-scoped domain (multi-session serving); nil uses
+	// the Runtime's process-wide default domain — the single-session
+	// behavior every pre-existing caller gets.
+	Domain *udf.Domain
+	// Budget is this query's memory budget, charged at the
+	// materialization points (scan batches, sort buffers, view-append
+	// staging). A failed charge degrades first — smaller scan batches,
+	// early view flushes — and aborts with server.ErrMemoryBudget only
+	// when degradation cannot fit the limit. nil = unlimited.
+	Budget *server.MemBudget
+	// Sessions enables shared-view multi-session mode: the apply
+	// operator probes its own store view, claims per-(view, key)
+	// singleflight ownership of the keys it is about to evaluate, and
+	// publishes (flushes) at every batch boundary so concurrent
+	// sessions reuse instead of recompute. View appends draw write
+	// faults from this Context's Faults injector rather than the
+	// engine-wide one.
+	Sessions bool
 
 	traceDepth int
 	noPipeline int // build-time: >0 while under a Limit (no stages)
@@ -58,6 +78,15 @@ func (c *Context) batchSize() int {
 		return c.BatchSize
 	}
 	return DefaultBatchSize
+}
+
+// dom returns the UDF evaluation domain for this execution: the
+// session's own domain when set, else the runtime's default.
+func (c *Context) dom() *udf.Domain {
+	if c.Domain != nil {
+		return c.Domain
+	}
+	return c.Runtime.DefaultDomain()
 }
 
 // Run executes the plan to completion and returns all result rows.
@@ -195,9 +224,9 @@ func (r *rowResolver) Resolve(name string) (types.Datum, bool) {
 func (r *rowResolver) CallFn(fn string, args []types.Datum) (types.Datum, error) {
 	if r.sink != nil {
 		r.sub++
-		return r.ctx.Runtime.EvalScalarAt(fn, args, subCallID(r.id, r.sub), r.hs, r.sink)
+		return r.ctx.dom().EvalScalarAt(fn, args, subCallID(r.id, r.sub), r.hs, r.sink)
 	}
-	return r.ctx.Runtime.EvalScalar(fn, args)
+	return r.ctx.dom().EvalScalar(fn, args)
 }
 
 // subCallID derives the identity of the k-th nested scalar call made
@@ -208,11 +237,17 @@ func subCallID(base, k uint64) uint64 { return (base+1)<<32 ^ k }
 
 // --- Scan ---
 
+// minScanBatch is the floor the memory budget may degrade the scan
+// batch size to before a still-failing charge aborts the query.
+const minScanBatch = 16
+
 type scanIter struct {
 	ctx   *Context
 	video *storage.Video
 	pos   int64
 	hi    int64
+	width int   // current batch size; shrunk by budget degradation
+	held  int64 // budget bytes reserved for the batch in flight
 }
 
 func newScanIter(ctx *Context, node *plan.Scan) (*scanIter, error) {
@@ -228,24 +263,47 @@ func newScanIter(ctx *Context, node *plan.Scan) (*scanIter, error) {
 	if lo < 0 {
 		lo = 0
 	}
-	return &scanIter{ctx: ctx, video: v, pos: lo, hi: hi}, nil
+	return &scanIter{ctx: ctx, video: v, pos: lo, hi: hi, width: ctx.batchSize()}, nil
 }
 
 func (s *scanIter) next() (*types.Batch, error) {
+	// The previous batch has flowed downstream; its reservation stands
+	// in for "one batch resident" and is returned before the next scan.
+	s.ctx.Budget.Release(s.held)
+	s.held = 0
 	if s.pos >= s.hi {
 		return nil, nil
 	}
-	end := s.pos + int64(s.ctx.batchSize())
-	if end > s.hi {
-		end = s.hi
+	for {
+		end := s.pos + int64(s.width)
+		if end > s.hi {
+			end = s.hi
+		}
+		b, err := s.video.Scan(s.pos, end)
+		if err != nil {
+			return nil, fmt.Errorf("exec: scan %s: %w", s.video.Name(), err)
+		}
+		sz := int64(b.EncodedSize())
+		if !s.ctx.Budget.Charge(sz) {
+			// Degrade: halve the batch width and rescan before giving
+			// up. The decision depends only on encoded data sizes, so
+			// it is identical on every run of the same query.
+			if s.width > minScanBatch {
+				s.width /= 2
+				if s.width < minScanBatch {
+					s.width = minScanBatch
+				}
+				s.ctx.Budget.NoteDegrade()
+				continue
+			}
+			return nil, fmt.Errorf("exec: scan %s: %w", s.video.Name(),
+				s.ctx.Budget.Exceeded("scan batch", sz))
+		}
+		s.held = sz
+		s.pos = end
+		s.ctx.Clock.ChargePerTuple(simclock.CatReadVideo, costs.ReadVideoCost, b.Len())
+		return b, nil
 	}
-	b, err := s.video.Scan(s.pos, end)
-	if err != nil {
-		return nil, fmt.Errorf("exec: scan %s: %w", s.video.Name(), err)
-	}
-	s.pos = end
-	s.ctx.Clock.ChargePerTuple(simclock.CatReadVideo, costs.ReadVideoCost, b.Len())
-	return b, nil
 }
 
 // --- Filter ---
@@ -294,11 +352,19 @@ type applyIter struct {
 	store   *storage.View
 	fuzzy   []*fuzzyIndex // per-source fuzzy bbox indexes (§6 extension)
 
+	// probeViews is the list the reuse arm consults: the planner's
+	// sources, plus (in session mode) the store view itself, so rows a
+	// concurrent session already published are reused, not recomputed.
+	probeViews []*storage.View
+
 	rowSeq uint64 // serial per-query sequence assigning call identities
 
 	pendingRows *types.Batch    // buffered fresh results for the store view
 	pendingKeys [][]types.Datum // buffered processed keys
 	seenPending map[string]bool // keys already buffered this query
+
+	claimed []string // store-view keys this batch holds claims on
+	staged  int64    // budget bytes reserved for pending view rows
 }
 
 func newApplyIter(ctx *Context, node *plan.ReuseApply, in iterator) (*applyIter, error) {
@@ -336,6 +402,19 @@ func newApplyIter(ctx *Context, node *plan.ReuseApply, in iterator) (*applyIter,
 			for _, view := range a.sources {
 				a.fuzzy = append(a.fuzzy, buildFuzzyIndex(view, idCol, bboxCol))
 			}
+		}
+	}
+	a.probeViews = a.sources
+	if ctx.Sessions && a.store != nil {
+		inSources := false
+		for _, v := range a.sources {
+			if v == a.store {
+				inSources = true
+				break
+			}
+		}
+		if !inSources {
+			a.probeViews = append(append([]*storage.View(nil), a.sources...), a.store)
 		}
 	}
 	return a, nil
@@ -376,26 +455,157 @@ type rowDecision struct {
 func (a *applyIter) next() (*types.Batch, error) {
 	b, err := a.in.next()
 	if err != nil {
+		a.releaseClaims()
 		return nil, err
 	}
 	if b == nil {
-		if err := a.flush(); err != nil {
-			return nil, err
-		}
-		return nil, nil
+		err := a.flush()
+		a.releaseClaims()
+		return nil, err
 	}
 	decisions := a.probePhase(b)
+	if a.ctx.Sessions && a.store != nil {
+		a.claimPhase(b, decisions)
+	}
 	a.evalPhase(b, decisions)
 	out, err := a.assemblePhase(b, decisions)
 	if err != nil {
+		a.releaseClaims()
 		return nil, err
 	}
-	if a.pendingRows != nil && a.pendingRows.Len() >= viewFlushRows {
+	if err := a.chargeStaged(); err != nil {
+		a.releaseClaims()
+		return nil, err
+	}
+	if a.ctx.Sessions && a.store != nil {
+		// Publish at every batch boundary, then hand the claimed keys
+		// back: a session blocked on one of them re-probes and finds
+		// the rows it was waiting for already materialized.
+		if err := a.flush(); err != nil {
+			a.releaseClaims()
+			return nil, err
+		}
+		a.releaseClaims()
+	} else if a.pendingRows != nil && a.pendingRows.Len() >= viewFlushRows {
 		if err := a.flush(); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// claimPhase acquires per-(view, key) singleflight ownership of every
+// key this batch is about to evaluate. Claims are all-or-nothing: if
+// any key is owned by a concurrent session, we wait — holding no
+// claims of our own, so no cycle can form — for that session to
+// publish and release, re-probe the refreshed view, and retry with
+// whatever keys are still unserved. Keys that became servable are
+// reused instead of recomputed, which is the no-double-compute
+// invariant of the serving layer.
+func (a *applyIter) claimPhase(b *types.Batch, decisions []rowDecision) {
+	for {
+		keys := a.unservedKeys(decisions)
+		if len(keys) == 0 {
+			return
+		}
+		granted, busy := a.store.ClaimKeys(keys)
+		if granted {
+			a.claimed = keys
+			return
+		}
+		<-busy
+		a.reprobe(b, decisions)
+	}
+}
+
+// unservedKeys collects the distinct encoded keys of rows still headed
+// for UDF evaluation, in row order.
+func (a *applyIter) unservedKeys(decisions []rowDecision) []string {
+	var keys []string
+	seen := map[string]bool{}
+	for r := range decisions {
+		d := &decisions[r]
+		if d.served {
+			continue
+		}
+		ek := storage.EncodeKey(d.key)
+		if !seen[ek] {
+			seen[ek] = true
+			keys = append(keys, ek)
+		}
+	}
+	return keys
+}
+
+// reprobe re-runs the exact view probe for rows still queued for
+// evaluation, serving the ones a concurrent session published while we
+// waited for its claim.
+func (a *applyIter) reprobe(b *types.Batch, decisions []rowDecision) {
+	readCost := costs.TableViewReadCost
+	if !a.node.TableUDF {
+		readCost = costs.ScalarViewReadCost
+	}
+	snaps := map[*storage.View]*types.Batch{}
+	for r := range decisions {
+		d := &decisions[r]
+		if d.served {
+			continue
+		}
+		a.ctx.Clock.Charge(simclock.CatApply, costs.ProbeCost)
+		for _, view := range a.probeViews {
+			if !view.HasKey(d.key) {
+				continue
+			}
+			a.ctx.Runtime.RecordReuse(a.node.Eval)
+			a.ctx.Clock.Charge(simclock.CatReadView, readCost)
+			s, ok := snaps[view]
+			if !ok {
+				s = view.Scan()
+				snaps[view] = s
+			}
+			nKey := len(a.node.KeyCols)
+			for _, vi := range view.RowsForKey(d.key) {
+				row := b.Row(r)
+				for c := nKey; c < len(view.Schema()); c++ {
+					row = append(row, s.At(vi, c))
+				}
+				d.viewRows = append(d.viewRows, row)
+			}
+			d.served = true
+			break
+		}
+	}
+}
+
+// releaseClaims returns this batch's claimed store-view keys, waking
+// any session blocked on them. Safe to call with none held.
+func (a *applyIter) releaseClaims() {
+	if len(a.claimed) == 0 || a.store == nil {
+		return
+	}
+	a.store.ReleaseKeys(a.claimed)
+	a.claimed = nil
+}
+
+// chargeStaged charges the memory budget for the growth of the view-
+// append staging buffer. A failed charge degrades by flushing early —
+// the staged rows hit disk and their reservation is returned — rather
+// than aborting.
+func (a *applyIter) chargeStaged() error {
+	if a.ctx.Budget == nil || a.pendingRows == nil {
+		return nil
+	}
+	sz := int64(a.pendingRows.EncodedSize())
+	delta := sz - a.staged
+	if delta <= 0 {
+		return nil
+	}
+	if a.ctx.Budget.Charge(delta) {
+		a.staged = sz
+		return nil
+	}
+	a.ctx.Budget.NoteDegrade()
+	return a.flush()
 }
 
 // probePhase runs the reuse arm serially in row order: demand
@@ -429,7 +639,7 @@ func (a *applyIter) probePhase(b *types.Batch) []rowDecision {
 		a.ctx.Clock.Charge(simclock.CatApply, costs.ProbeCost)
 
 		d := &decisions[r]
-		for _, view := range a.sources {
+		for _, view := range a.probeViews {
 			if !view.HasKey(key) {
 				continue
 			}
@@ -484,7 +694,7 @@ func (a *applyIter) evalPhase(b *types.Batch, decisions []rowDecision) {
 	if len(evalRows) == 0 {
 		return
 	}
-	hs := a.ctx.Runtime.HealthSnapshot()
+	hs := a.ctx.dom().HealthSnapshot()
 	runParallel(a.ctx.workers(), len(evalRows), func(i int) {
 		r := evalRows[i]
 		d := &decisions[r]
@@ -509,13 +719,13 @@ func (a *applyIter) evalRow(b *types.Batch, r int, d *rowDecision, hs *udf.Healt
 		if len(args) != 1 || args[0].Kind() != types.KindBytes {
 			return nil, fmt.Errorf("exec: table UDF %s expects a frame argument", a.node.Eval)
 		}
-		rows, err := a.ctx.Runtime.EvalDetectorAt(a.node.Eval, args[0].Bytes(), d.id, hs, d.sink)
+		rows, err := a.ctx.dom().EvalDetectorAt(a.node.Eval, args[0].Bytes(), d.id, hs, d.sink)
 		if err != nil {
 			return nil, fmt.Errorf("exec: detector %s: %w", a.node.Eval, err)
 		}
 		return rows, nil
 	}
-	v, err := a.ctx.Runtime.EvalScalarAt(a.node.Eval, args, d.id, hs, d.sink)
+	v, err := a.ctx.dom().EvalScalarAt(a.node.Eval, args, d.id, hs, d.sink)
 	if err != nil {
 		return nil, fmt.Errorf("exec: udf %s: %w", a.node.Eval, err)
 	}
@@ -537,7 +747,7 @@ func (a *applyIter) assemblePhase(b *types.Batch, decisions []rowDecision) (*typ
 	// therefore trips, degradation and replans — is identical whether
 	// or not a row failed, and at any concurrency.
 	for r := range decisions {
-		a.ctx.Runtime.CommitOutcomes(decisions[r].sink)
+		a.ctx.dom().CommitOutcomes(decisions[r].sink)
 	}
 	out := types.NewBatchCapacity(a.node.Schema(), b.Len())
 	for r := range decisions {
@@ -597,6 +807,8 @@ func (a *applyIter) flush() error {
 	keys := a.pendingKeys
 	a.pendingRows = nil
 	a.pendingKeys = nil
+	a.ctx.Budget.Release(a.staged)
+	a.staged = 0
 	if rows == nil && len(keys) == 0 {
 		return nil
 	}
@@ -606,7 +818,13 @@ func (a *applyIter) flush() error {
 	var n int
 	for attempt := 1; ; attempt++ {
 		var err error
-		n, err = a.store.Append(rows, keys)
+		if a.ctx.Sessions {
+			// Session mode: write faults come from this session's own
+			// deterministic schedule, not the engine-wide injector.
+			n, err = a.store.AppendWith(rows, keys, a.ctx.Faults)
+		} else {
+			n, err = a.store.Append(rows, keys)
+		}
 		if err == nil {
 			break
 		}

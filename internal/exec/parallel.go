@@ -152,9 +152,14 @@ func (s *stageIter) halt() { s.once.Do(func() { close(s.stop) }) }
 // (the serial engine stops at the first error; a stage producer races
 // ahead of it), breaking worker-count invariance of the simulated
 // totals. Fault-injected and deadline-bounded runs therefore keep the
-// parallel apply worker pool but run the operator tree unstaged.
+// parallel apply worker pool but run the operator tree unstaged, as do
+// memory-budgeted runs (a prefetching producer would charge the budget
+// for batches the serial engine has not admitted yet, making degrade
+// decisions depend on scheduling) and multi-session runs (claim
+// acquisition and per-batch publication are serial protocol points).
 func (c *Context) maybeStage(in iterator) iterator {
-	if c.workers() <= 1 || c.noPipeline > 0 || c.Faults != nil || c.Deadline > 0 {
+	if c.workers() <= 1 || c.noPipeline > 0 || c.Faults != nil || c.Deadline > 0 ||
+		c.Budget != nil || c.Sessions {
 		return in
 	}
 	return c.startStage(in)

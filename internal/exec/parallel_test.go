@@ -11,6 +11,8 @@ import (
 	"eva/internal/expr"
 	"eva/internal/faults"
 	"eva/internal/plan"
+	"eva/internal/server"
+	"eva/internal/testutil"
 	"eva/internal/types"
 	"eva/internal/vision"
 )
@@ -148,10 +150,34 @@ func TestAbortableRunsDisablePipeline(t *testing.T) {
 		t.Errorf("%d pipeline stages built under a deadline, want 0", len(ctx2.stages))
 	}
 
-	// Sanity: without faults or deadline the same plan does stage.
+	// Memory-budgeted runs: a prefetching producer would charge the
+	// budget for batches the serial engine has not admitted yet.
 	ctx3 := testCtx(t, vision.Jackson)
 	ctx3.Workers = 8
-	if _, err := Run(ctx3, fplan()); err != nil {
+	ctx3.Budget = server.NewMemBudget(1 << 30)
+	if out, err := Run(ctx3, fplan()); err != nil || out.Len() != 30 {
+		t.Fatalf("budgeted run: rows = %v, %v", out, err)
+	}
+	if len(ctx3.stages) != 0 {
+		t.Errorf("%d pipeline stages built under a memory budget, want 0", len(ctx3.stages))
+	}
+
+	// Multi-session runs: claim acquisition and per-batch publication
+	// are serial protocol points.
+	ctx4 := testCtx(t, vision.Jackson)
+	ctx4.Workers = 8
+	ctx4.Sessions = true
+	if out, err := Run(ctx4, fplan()); err != nil || out.Len() != 30 {
+		t.Fatalf("session run: rows = %v, %v", out, err)
+	}
+	if len(ctx4.stages) != 0 {
+		t.Errorf("%d pipeline stages built in session mode, want 0", len(ctx4.stages))
+	}
+
+	// Sanity: without faults or deadline the same plan does stage.
+	ctx5 := testCtx(t, vision.Jackson)
+	ctx5.Workers = 8
+	if _, err := Run(ctx5, fplan()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -193,16 +219,7 @@ func TestNoGoroutineLeakOnAbort(t *testing.T) {
 	}
 
 	// Give exited goroutines a moment to be reaped before comparing.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines: %d before, %d after aborted runs", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.CheckNoGoroutineLeak(t, before)
 }
 
 // TestLimitDisablesPipeline: operators under a Limit must not run in

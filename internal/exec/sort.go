@@ -26,19 +26,33 @@ func (s *sortIter) next() (*types.Batch, error) {
 	}
 	s.done = true
 
+	// The sort buffer is a materialization point: every input batch
+	// stays resident until the output is built, so its encoded size is
+	// charged to the query's memory budget. Sort cannot degrade (it
+	// must see all rows), so a failed charge aborts the query.
+	var reserved int64
 	all := types.NewBatch(s.node.Schema())
 	for {
 		b, err := s.in.next()
 		if err != nil {
+			s.ctx.Budget.Release(reserved)
 			return nil, err
 		}
 		if b == nil {
 			break
 		}
+		if sz := int64(b.EncodedSize()); !s.ctx.Budget.Charge(sz) {
+			s.ctx.Budget.Release(reserved)
+			return nil, fmt.Errorf("exec: sort: %w", s.ctx.Budget.Exceeded("sort buffer", sz))
+		} else {
+			reserved += sz
+		}
 		if err := all.AppendBatch(b); err != nil {
+			s.ctx.Budget.Release(reserved)
 			return nil, fmt.Errorf("exec: sort: %w", err)
 		}
 	}
+	defer s.ctx.Budget.Release(reserved)
 	s.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, all.Len())
 
 	keyIdx := make([]int, len(s.node.Keys))

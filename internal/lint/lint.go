@@ -21,6 +21,10 @@
 //	                       panic in the query path.
 //	lint:noerrcheck        (on or above a statement) suppresses the
 //	                       error-discipline check.
+//	lint:trackedgo <why>   (on or above a go statement) marks the
+//	                       sanctioned spawn point in the serving layer,
+//	                       where bare go statements are otherwise
+//	                       forbidden.
 //
 // Methods whose name ends in "Locked" are exempt from the guarded-by
 // check by convention: their contract is that the caller holds the
@@ -169,6 +173,10 @@ func DefaultAnalyzers(modPath string) []Analyzer {
 			qp("internal/exec/..."),
 			qp("internal/optimizer/..."),
 			qp("internal/lint/testdata/src/errdiscipline/..."),
+		),
+		NewTrackedGoroutine(
+			qp("internal/server/..."),
+			qp("internal/lint/testdata/src/trackedgoroutine/..."),
 		),
 	}
 }

@@ -64,7 +64,7 @@ func collectWants(u *Universe) []wantComment {
 // by exactly one diagnostic at its file and line, and no diagnostic
 // may appear without a `want`.
 func TestFixtures(t *testing.T) {
-	for _, tree := range []string{"exhaustive", "guardedby", "nopanic", "errdiscipline"} {
+	for _, tree := range []string{"exhaustive", "guardedby", "nopanic", "errdiscipline", "trackedgoroutine"} {
 		t.Run(tree, func(t *testing.T) {
 			u, diags := loadFixture(t, "internal/lint/testdata/src/"+tree+"/...")
 			wants := collectWants(u)
@@ -102,7 +102,7 @@ func TestFixtures(t *testing.T) {
 // zero diagnostics — the suppression hatches, *Locked convention, and
 // wrapped-error patterns must all be accepted.
 func TestOkFixturesClean(t *testing.T) {
-	for _, tree := range []string{"exhaustive", "guardedby", "nopanic", "errdiscipline"} {
+	for _, tree := range []string{"exhaustive", "guardedby", "nopanic", "errdiscipline", "trackedgoroutine"} {
 		t.Run(tree, func(t *testing.T) {
 			_, diags := loadFixture(t, "internal/lint/testdata/src/"+tree+"/ok")
 			for _, d := range diags {
@@ -125,6 +125,7 @@ func TestDiagnosticPositions(t *testing.T) {
 		{"guardedby", "guarded-by", "guardedby/bad/bad.go:17:2"},
 		{"nopanic", "no-panic", "nopanic/bad/bad.go:7:3"},
 		{"errdiscipline", "error-discipline", "errdiscipline/bad/bad.go:9:5"},
+		{"trackedgoroutine", "tracked-goroutine", "trackedgoroutine/bad/bad.go:7:2"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

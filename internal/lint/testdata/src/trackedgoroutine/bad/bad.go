@@ -1,0 +1,8 @@
+// Package bad seeds a tracked-goroutine violation for the analyzer
+// tests.
+package bad
+
+// Spawn launches an untracked worker: nothing joins it on shutdown.
+func Spawn(work func()) {
+	go work() // want "bare go statement in the serving layer"
+}

@@ -1,0 +1,30 @@
+// Package ok demonstrates the patterns the tracked-goroutine analyzer
+// accepts: spawning through a tracked pool, and the pool's own
+// annotated spawn point.
+package ok
+
+import "sync"
+
+// Pool is a minimal tracked spawn point (the shape of server.Group).
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+// Go runs fn on a tracked goroutine.
+func (p *Pool) Go(fn func()) {
+	p.wg.Add(1)
+	// lint:trackedgo Pool.Go is the sanctioned spawn point
+	go func() {
+		defer p.wg.Done()
+		fn()
+	}()
+}
+
+// Wait joins every spawned goroutine.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Serve spawns through the pool, never bare.
+func Serve(p *Pool, work func()) {
+	p.Go(work)
+	p.Wait()
+}

@@ -1,0 +1,47 @@
+package lint
+
+import "go/ast"
+
+// TrackedGoroutine forbids bare `go` statements in the serving-layer
+// packages: every spawn must go through the tracked pool
+// (server.Group.Go), so shutdown can prove no goroutine outlives the
+// system. The sanctioned spawn point itself carries a
+// "// lint:trackedgo <why>" annotation, which exempts the line.
+type TrackedGoroutine struct {
+	scopes []string
+}
+
+// NewTrackedGoroutine builds the analyzer restricted to the given
+// import-path specs (see MatchPath).
+func NewTrackedGoroutine(scopes ...string) *TrackedGoroutine {
+	return &TrackedGoroutine{scopes: scopes}
+}
+
+// Name implements Analyzer.
+func (a *TrackedGoroutine) Name() string { return "tracked-goroutine" }
+
+// Check implements Analyzer.
+func (a *TrackedGoroutine) Check(u *Universe, pkg *Package) []Diagnostic {
+	if !matchAny(a.scopes, pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if u.Suppressed(pkg, stmt.Pos(), "lint:trackedgo") {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      u.Fset.Position(stmt.Pos()),
+				Analyzer: a.Name(),
+				Message:  "bare go statement in the serving layer; spawn through the tracked pool or annotate // lint:trackedgo <why>",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -67,7 +67,7 @@ func TestJoinTermAblation(t *testing.T) {
 	if len(res.Report.Order) != 2 || res.Report.Order[0] != "License" {
 		t.Errorf("order = %v, want License first (covered view)", res.Report.Order)
 	}
-	info := res.Report.Preds["license[bbox,frame]"]
+	info := res.Report.Preds["video.license[bbox,frame]"]
 	if info.RelDiff > 0.15 {
 		t.Errorf("license relDiff = %v, want ≈ 0 (fully covered)", info.RelDiff)
 	}

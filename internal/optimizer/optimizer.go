@@ -310,7 +310,7 @@ func (o *Optimizer) optimize(stmt *parser.SelectStmt, mode Mode) (*Result, error
 		if err != nil {
 			return nil, err
 		}
-		sc := &scalarCall{call: call, def: def, ownPreds: callPreds[key], sig: udf.NewSignature(def.Name, call.Args)}
+		sc := &scalarCall{call: call, def: def, ownPreds: callPreds[key], sig: udf.NewSignature(table.Name, def.Name, call.Args)}
 		sc.pre = true
 		for _, arg := range call.Args {
 			for _, col := range expr.CollectColumns(arg) {

@@ -386,7 +386,7 @@ func TestFig7AtomCountsGrowForBaseline(t *testing.T) {
 	for _, q := range queries {
 		_, res := h.run(t, q, EVAMode())
 		for sig, info := range res.Report.Preds {
-			if strings.HasPrefix(sig, "cartype") && info.UnionAtoms > maxUnion {
+			if strings.HasPrefix(sig, "video.cartype") && info.UnionAtoms > maxUnion {
 				maxUnion = info.UnionAtoms
 			}
 		}

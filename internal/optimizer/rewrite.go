@@ -158,7 +158,7 @@ func (o *Optimizer) applyDetector(node plan.Node, apply *parser.ApplyClause, gat
 		}
 		evalUDF = def
 		if mode.Reuse {
-			sig := udf.NewSignature(def.Name, apply.Args)
+			sig := udf.NewSignature(table.Name, def.Name, apply.Args)
 			sources = append(sources, plan.ApplySource{UDF: def.Name, ViewName: sig.ViewName()})
 		}
 	} else {
@@ -179,15 +179,15 @@ func (o *Optimizer) applyDetector(node plan.Node, apply *parser.ApplyClause, gat
 			evalUDF = cheapest
 		case mode.Logical == LogicalMinCost:
 			evalUDF = cheapest
-			sig := udf.NewSignature(cheapest.Name, apply.Args)
+			sig := udf.NewSignature(table.Name, cheapest.Name, apply.Args)
 			sources = append(sources, plan.ApplySource{UDF: cheapest.Name, ViewName: sig.ViewName()})
 		default: // LogicalEVA: Algorithm 2
 			evalUDF = cheapest
-			sources = o.selectPhysicalUDFs(cheapest, cands, apply.Args, gate, stats, mode)
+			sources = o.selectPhysicalUDFs(table.Name, cheapest, cands, apply.Args, gate, stats, mode)
 		}
 	}
 
-	sig := udf.NewSignature(evalUDF.Name, apply.Args)
+	sig := udf.NewSignature(table.Name, evalUDF.Name, apply.Args)
 	storeView := ""
 	if mode.Reuse {
 		storeView = sig.ViewName()

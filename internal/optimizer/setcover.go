@@ -17,7 +17,7 @@ import (
 // symbolically by the selectivity of INTER(p_x, q); and the weight is
 // the cost of reading the view. Views are picked while their cost per
 // uncovered tuple beats evaluating the cheapest physical UDF.
-func (o *Optimizer) selectPhysicalUDFs(eval *catalog.UDF, cands []*catalog.UDF, args []expr.Expr, q symbolic.DNF, stats symbolic.Stats, mode Mode) []plan.ApplySource {
+func (o *Optimizer) selectPhysicalUDFs(table string, eval *catalog.UDF, cands []*catalog.UDF, args []expr.Expr, q symbolic.DNF, stats symbolic.Stats, mode Mode) []plan.ApplySource {
 	type cand struct {
 		def *catalog.UDF
 		sig udf.Signature
@@ -25,7 +25,7 @@ func (o *Optimizer) selectPhysicalUDFs(eval *catalog.UDF, cands []*catalog.UDF, 
 	}
 	var xs []cand
 	for _, def := range cands {
-		sig := udf.NewSignature(def.Name, args)
+		sig := udf.NewSignature(table, def.Name, args)
 		xs = append(xs, cand{def: def, sig: sig, agg: o.Mgr.AggOf(sig)})
 	}
 	// The alternative to reading a view is evaluating the chosen model:

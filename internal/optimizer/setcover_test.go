@@ -17,7 +17,7 @@ import (
 // seedDetectorView warms a physical detector's aggregated predicate
 // over an id range, without executing anything.
 func seedDetectorView(h *harness, model string, lo, hi int64) {
-	sig := udf.NewSignature(model, []expr.Expr{expr.NewColumn("frame")})
+	sig := udf.NewSignature("video", model, []expr.Expr{expr.NewColumn("frame")})
 	pred := expr.NewAnd(
 		expr.NewCmp(expr.OpGe, expr.NewColumn("id"), expr.NewConst(types.NewInt(lo))),
 		expr.NewCmp(expr.OpLt, expr.NewColumn("id"), expr.NewConst(types.NewInt(hi))),
@@ -127,7 +127,7 @@ func TestGreedyMatchesExhaustiveOnSmallInstances(t *testing.T) {
 		}
 		q := rangeDNF(t, sc.qLo, sc.qHi)
 		cands := h.cat.UDFsForLogical("ObjectDetector", vision.AccuracyLow)
-		greedySources := h.opt.selectPhysicalUDFs(cands[0], cands, []expr.Expr{expr.NewColumn("frame")}, q, stats, EVAMode())
+		greedySources := h.opt.selectPhysicalUDFs("video", cands[0], cands, []expr.Expr{expr.NewColumn("frame")}, q, stats, EVAMode())
 
 		greedyCost := coverCost(h, greedySources, q, stats)
 		bestCost := math.Inf(1)
@@ -192,7 +192,7 @@ func coverCostNames(h *harness, models []string, q symbolic.DNF, stats symbolic.
 	rem := q
 	cost := 0.0
 	for _, m := range models {
-		sig := udf.NewSignature(m, []expr.Expr{expr.NewColumn("frame")})
+		sig := udf.NewSignature("video", m, []expr.Expr{expr.NewColumn("frame")})
 		entry := h.mgr.Lookup(sig)
 		covered := symbolic.Selectivity(symbolic.Inter(entry.Agg, rem), stats)
 		selView := symbolic.Selectivity(entry.Agg, stats)

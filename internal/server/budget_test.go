@@ -1,0 +1,74 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMemBudgetChargeReleasePeak(t *testing.T) {
+	b := NewMemBudget(100)
+	if !b.Charge(60) {
+		t.Fatal("charge 60 of 100 failed")
+	}
+	if b.Charge(50) {
+		t.Fatal("charge 50 over limit succeeded")
+	}
+	if !b.Charge(40) {
+		t.Fatal("charge to exactly the limit failed")
+	}
+	if b.Peak() != 100 {
+		t.Fatalf("peak = %d, want 100", b.Peak())
+	}
+	b.Release(100)
+	if !b.Charge(100) {
+		t.Fatal("charge after release failed")
+	}
+	b.Release(1000) // over-release clamps at zero
+	if !b.Charge(100) {
+		t.Fatal("charge after over-release failed")
+	}
+}
+
+func TestMemBudgetDegradeAndExceeded(t *testing.T) {
+	b := NewMemBudget(10)
+	b.NoteDegrade()
+	b.NoteDegrade()
+	if b.Degrades() != 2 {
+		t.Fatalf("degrades = %d, want 2", b.Degrades())
+	}
+	err := b.Exceeded("sort buffer", 64)
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("exceeded error = %v, want ErrMemoryBudget", err)
+	}
+}
+
+func TestMemBudgetNilSafe(t *testing.T) {
+	var b *MemBudget
+	if !b.Charge(1 << 40) {
+		t.Fatal("nil budget rejected a charge")
+	}
+	b.Release(1)
+	b.NoteDegrade()
+	if b.Peak() != 0 || b.Degrades() != 0 || b.Limit() != 0 {
+		t.Fatal("nil budget counters not zero")
+	}
+	if err := b.Exceeded("x", 1); err != nil {
+		t.Fatalf("nil budget Exceeded = %v", err)
+	}
+	if NewMemBudget(0) != nil || NewMemBudget(-5) != nil {
+		t.Fatal("non-positive limit should build a nil (unlimited) budget")
+	}
+}
+
+func TestGroupWaits(t *testing.T) {
+	var g Group
+	ch := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func() { ch <- i })
+	}
+	g.Wait()
+	if len(ch) != 8 {
+		t.Fatalf("ran %d of 8 tracked goroutines", len(ch))
+	}
+}

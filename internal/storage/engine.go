@@ -145,6 +145,33 @@ func (e *Engine) TotalViewFootprint() int64 {
 	return total
 }
 
+// ViewRowCounts snapshots every view's stored row count under one
+// engine lock, so a reader racing concurrent view creation sees a
+// consistent name set (each count is still that view's own snapshot).
+func (e *Engine) ViewRowCounts() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int, len(e.views))
+	for n, v := range e.views {
+		out[n] = v.Rows()
+	}
+	return out
+}
+
+// Close closes every view's backing file. Idempotent: closing a
+// closed engine (or re-closing views) is a no-op.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, v := range e.views {
+		if err := v.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // DropViews removes all materialized views (used to reset between
 // benchmark workloads).
 func (e *Engine) DropViews() error {

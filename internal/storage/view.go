@@ -40,6 +40,10 @@ type View struct {
 	dead      bool                // guarded by mu; simulated crash hit this view
 	recovered int64               // guarded by mu; torn-tail bytes dropped at open
 	inj       *faults.Injector    // guarded by mu
+	// claims maps an encoded key to the in-flight claim that is
+	// evaluating it (per-(view, key) singleflight across sessions);
+	// the channel closes when the claim is released. guarded by mu.
+	claims map[string]chan struct{}
 }
 
 // View file format v2: header (magic, version, schema, key columns)
@@ -75,6 +79,7 @@ func openView(path, name string, schema types.Schema, keyCols []string, inj *fau
 		batch:     types.NewBatch(schema.Clone()),
 		rowsByKey: map[string][]int{},
 		processed: map[string]struct{}{},
+		claims:    map[string]chan struct{}{},
 		inj:       inj,
 	}
 	for _, kc := range keyCols {
@@ -332,6 +337,23 @@ func (v *View) appendRowLocked(row []types.Datum) {
 // view is marked dead and the torn tail is left for recovery at the
 // next open.
 func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.appendLocked(rows, processedKeys, v.inj)
+}
+
+// AppendWith is Append consulting the caller's fault injector instead
+// of the view's installed one. Session-scoped execution uses it so a
+// session's write faults are drawn from that session's deterministic
+// schedule, not the system-wide injector (which stays nil-safe for
+// fault-free sessions even when the system has one installed).
+func (v *View) AppendWith(rows *types.Batch, processedKeys [][]types.Datum, inj *faults.Injector) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.appendLocked(rows, processedKeys, inj)
+}
+
+func (v *View) appendLocked(rows *types.Batch, processedKeys [][]types.Datum, inj *faults.Injector) (int, error) {
 	if rows != nil && !rows.Schema().Equal(v.schema) {
 		return 0, fmt.Errorf("storage: view %s: append schema %s, want %s", v.name, rows.Schema(), v.schema)
 	}
@@ -340,8 +362,6 @@ func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, er
 			return 0, fmt.Errorf("storage: view %s: key width %d, want %d", v.name, len(key), len(v.keyCols))
 		}
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	if v.dead {
 		return 0, fmt.Errorf("storage: view %s: unusable after simulated crash", v.name)
 	}
@@ -396,7 +416,7 @@ func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, er
 	}
 
 	// Phase 2: disk. A failure here leaves memory exactly as it was.
-	if err := v.writeLocked(out); err != nil {
+	if err := v.writeLocked(out, inj); err != nil {
 		return 0, err
 	}
 
@@ -414,7 +434,7 @@ func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, er
 // fault injector. Short or failed writes are rolled back by truncating
 // to the pre-append length; a simulated crash leaves the torn tail on
 // disk and kills the view. Callers must hold mu.
-func (v *View) writeLocked(out []byte) error {
+func (v *View) writeLocked(out []byte, inj *faults.Injector) error {
 	if v.file == nil {
 		return fmt.Errorf("storage: view %s: closed", v.name)
 	}
@@ -425,7 +445,7 @@ func (v *View) writeLocked(out []byte) error {
 	// how many appends other views (or retries of other records) made
 	// first. A rolled-back retry of the same record redraws (the
 	// injector bumps a per-(site, LSN) occurrence counter).
-	if short, ferr := v.inj.CheckWrite(v.site, uint64(v.footprint), len(out)); ferr != nil {
+	if short, ferr := inj.CheckWrite(v.site, uint64(v.footprint), len(out)); ferr != nil {
 		allow, injected = short, ferr
 	}
 	var wrote int
@@ -501,6 +521,49 @@ func (v *View) RowsForKey(key []types.Datum) []int {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return v.rowsByKey[encodeKey(key)]
+}
+
+// ClaimKeys atomically claims every encoded key for evaluation by one
+// caller — the per-(view, region) singleflight behind shared-view
+// concurrency. It is all-or-nothing: if any key is already claimed,
+// nothing is claimed and the conflicting claim's channel is returned;
+// the caller waits on it (holding no claims of its own, so waiting can
+// never deadlock), re-probes the view — the other claimant may have
+// materialized the keys by then — and retries. On success every key is
+// claimed and the caller must ReleaseKeys the same set exactly once,
+// on every path including errors.
+func (v *View) ClaimKeys(keys []string) (granted bool, busy <-chan struct{}) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, k := range keys {
+		if ch, claimed := v.claims[k]; claimed {
+			return false, ch
+		}
+	}
+	done := make(chan struct{})
+	for _, k := range keys {
+		v.claims[k] = done
+	}
+	return true, nil
+}
+
+// ReleaseKeys releases a granted claim, waking every waiter.
+func (v *View) ReleaseKeys(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var done chan struct{}
+	for _, k := range keys {
+		if ch, ok := v.claims[k]; ok {
+			done = ch
+			delete(v.claims, k)
+		}
+	}
+	if done != nil {
+		close(done)
+	}
 }
 
 // Footprint returns the on-disk size in bytes.

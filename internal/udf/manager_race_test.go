@@ -30,7 +30,7 @@ func rangeDNF(t *testing.T, lo, hi int64) symbolic.DNF {
 // return value copies) must let readers and committers run freely.
 func TestManagerConcurrentCommitAndRead(t *testing.T) {
 	m := NewManager()
-	sig := NewSignature("cartype", []expr.Expr{expr.NewColumn("frame"), expr.NewColumn("bbox")})
+	sig := NewSignature("", "cartype", []expr.Expr{expr.NewColumn("frame"), expr.NewColumn("bbox")})
 	const workers = 8
 	const rounds = 50
 
@@ -73,7 +73,7 @@ func TestManagerConcurrentCommitAndRead(t *testing.T) {
 // optimizer relies on while planning against a fixed p_u.
 func TestManagerSnapshotIsolation(t *testing.T) {
 	m := NewManager()
-	sig := NewSignature("redness", []expr.Expr{expr.NewColumn("frame")})
+	sig := NewSignature("", "redness", []expr.Expr{expr.NewColumn("frame")})
 	snap := m.Lookup(sig)
 	if !snap.Agg.IsFalse() {
 		t.Fatalf("fresh entry p_u = %s, want FALSE", snap.Agg)
@@ -89,7 +89,7 @@ func TestManagerSnapshotIsolation(t *testing.T) {
 
 func BenchmarkManagerAggOf(b *testing.B) {
 	m := NewManager()
-	sig := NewSignature("cartype", []expr.Expr{expr.NewColumn("frame"), expr.NewColumn("bbox")})
+	sig := NewSignature("", "cartype", []expr.Expr{expr.NewColumn("frame"), expr.NewColumn("bbox")})
 	p := expr.NewCmp(expr.OpLt, expr.NewColumn("id"), expr.NewConst(types.NewInt(1000)))
 	d, err := symbolic.FromExpr(p)
 	if err != nil {

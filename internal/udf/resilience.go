@@ -44,29 +44,22 @@ type breaker struct {
 	openedAt    time.Duration // virtual clock total at trip time
 }
 
-// SetInjector installs the fault injector consulted before every model
-// attempt (nil disables injection).
+// SetInjector installs the fault injector on the default domain (nil
+// disables injection). Session domains carry their own injectors.
 func (r *Runtime) SetInjector(inj *faults.Injector) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.inj = inj
+	r.def.SetInjector(inj)
 }
 
 // SetRetryPolicy overrides the retry/breaker parameters; zero values
 // keep the defaults (costs.RetryMaxAttempts attempts,
-// DefaultBreakerThreshold trips, DefaultBreakerCooldown).
+// DefaultBreakerThreshold trips, DefaultBreakerCooldown). The policy
+// is shared by every domain.
 func (r *Runtime) SetRetryPolicy(maxAttempts, breakerThreshold int, cooldown time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.retryMax = maxAttempts
 	r.breakThreshold = breakerThreshold
 	r.breakCooldown = cooldown
-}
-
-func (r *Runtime) injector() *faults.Injector {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.inj
 }
 
 func (r *Runtime) maxAttempts() int {
@@ -81,38 +74,42 @@ func (r *Runtime) maxAttempts() int {
 // breakerAllow rejects the invocation while the model's breaker is
 // open and its virtual-time cooldown has not elapsed. After the
 // cooldown one probe invocation is let through (half-open).
-func (r *Runtime) breakerAllow(u *catalog.UDF) error {
+func (d *Domain) breakerAllow(u *catalog.UDF) error {
 	key := strings.ToLower(u.Name)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	b := r.breakers[key]
+	cd := d.r.cooldown()
+	now := d.clock.Total()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.breakers[key]
 	if b == nil || !b.open {
 		return nil
 	}
-	if r.clock.Total()-b.openedAt >= r.cooldownLocked() {
+	if now-b.openedAt >= cd {
 		return nil // half-open probe
 	}
 	return fmt.Errorf("udf: %s: %w", u.Name, ErrModelUnavailable)
 }
 
-// HealthSnapshot is a frozen view of the circuit breakers, taken at a
-// serial point (the executor captures one per batch before fanning
-// out) so that every concurrently evaluated invocation sees the same
-// admission decisions the serial engine would. Without it, the live
-// breakerAllow reads the advancing virtual clock and an open breaker
-// could flip to half-open mid-batch at a worker-dependent row.
+// HealthSnapshot is a frozen view of a domain's circuit breakers,
+// taken at a serial point (the executor captures one per batch before
+// fanning out) so that every concurrently evaluated invocation sees
+// the same admission decisions the serial engine would. Without it,
+// the live breakerAllow reads the advancing virtual clock and an open
+// breaker could flip to half-open mid-batch at a worker-dependent row.
 type HealthSnapshot struct {
 	now      time.Duration
 	cooldown time.Duration
 	open     map[string]time.Duration // open breakers → openedAt
 }
 
-// HealthSnapshot captures the current breaker states and virtual time.
-func (r *Runtime) HealthSnapshot() *HealthSnapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	hs := &HealthSnapshot{now: r.clock.Total(), cooldown: r.cooldownLocked()}
-	for name, b := range r.breakers {
+// HealthSnapshot captures the domain's breaker states and virtual time.
+func (d *Domain) HealthSnapshot() *HealthSnapshot {
+	cd := d.r.cooldown()
+	now := d.clock.Total()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	hs := &HealthSnapshot{now: now, cooldown: cd}
+	for name, b := range d.breakers {
 		if b.open {
 			if hs.open == nil {
 				hs.open = map[string]time.Duration{}
@@ -122,6 +119,9 @@ func (r *Runtime) HealthSnapshot() *HealthSnapshot {
 	}
 	return hs
 }
+
+// HealthSnapshot captures the default domain's breaker states.
+func (r *Runtime) HealthSnapshot() *HealthSnapshot { return r.def.HealthSnapshot() }
 
 // allow is breakerAllow against the frozen snapshot. Breaker decisions
 // become batch-granular under snapshots: every row of a batch sees the
@@ -152,19 +152,22 @@ func (s *OutcomeSink) record(name string, ok bool) {
 }
 
 // CommitOutcomes applies a row's deferred invocation outcomes to the
-// circuit breakers. The executor calls it row by row in input order,
-// so consecutive-failure counts — and therefore breaker trips,
-// degradation triggers and replans — fire at the same row at every
-// worker count. Nil sinks and empty sinks are no-ops.
-func (r *Runtime) CommitOutcomes(sink *OutcomeSink) {
+// domain's circuit breakers. The executor calls it row by row in
+// input order, so consecutive-failure counts — and therefore breaker
+// trips, degradation triggers and replans — fire at the same row at
+// every worker count. Nil sinks and empty sinks are no-ops.
+func (d *Domain) CommitOutcomes(sink *OutcomeSink) {
 	if sink == nil {
 		return
 	}
 	for _, o := range sink.outcomes {
-		r.noteOutcome(o.name, o.ok)
+		d.noteOutcome(o.name, o.ok)
 	}
 	sink.outcomes = nil
 }
+
+// CommitOutcomes applies deferred outcomes to the default domain.
+func (r *Runtime) CommitOutcomes(sink *OutcomeSink) { r.def.CommitOutcomes(sink) }
 
 func (r *Runtime) cooldownLocked() time.Duration {
 	if r.breakCooldown > 0 {
@@ -181,15 +184,17 @@ func (r *Runtime) thresholdLocked() int {
 }
 
 // noteOutcome records an invocation-level success or failure for the
-// breaker: consecutive failures trip it, any success closes it.
-func (r *Runtime) noteOutcome(name string, ok bool) {
+// domain's breaker: consecutive failures trip it, any success closes it.
+func (d *Domain) noteOutcome(name string, ok bool) {
 	key := strings.ToLower(name)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	b := r.breakers[key]
+	threshold := d.r.threshold()
+	now := d.clock.Total()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.breakers[key]
 	if b == nil {
 		b = &breaker{}
-		r.breakers[key] = b
+		d.breakers[key] = b
 	}
 	if ok {
 		b.consecutive = 0
@@ -197,44 +202,64 @@ func (r *Runtime) noteOutcome(name string, ok bool) {
 		return
 	}
 	b.consecutive++
-	if b.consecutive >= r.thresholdLocked() {
+	if b.consecutive >= threshold {
 		b.open = true
-		b.openedAt = r.clock.Total()
+		b.openedAt = now
 	}
 }
 
-// ModelHealthy reports whether the model accepts evaluations: its
-// breaker is closed, or open but past the cooldown (probe allowed).
-// It implements the optimizer's health view for Algorithm 2's
-// degraded re-cover.
-func (r *Runtime) ModelHealthy(name string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	b := r.breakers[strings.ToLower(name)]
+// noteAttempt records one invocation attempt (and whether it failed
+// transiently) in the domain's failure-rate observations.
+func (d *Domain) noteAttempt(name string, transientFailure bool) {
+	key := strings.ToLower(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.attempts[key]++
+	if transientFailure {
+		d.transient[key]++
+	}
+}
+
+// ModelHealthy reports whether the model accepts evaluations in this
+// domain: its breaker is closed, or open but past the cooldown (probe
+// allowed). It implements the optimizer's health view for Algorithm
+// 2's degraded re-cover.
+func (d *Domain) ModelHealthy(name string) bool {
+	cd := d.r.cooldown()
+	now := d.clock.Total()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.breakers[strings.ToLower(name)]
 	if b == nil || !b.open {
 		return true
 	}
-	return r.clock.Total()-b.openedAt >= r.cooldownLocked()
+	return now-b.openedAt >= cd
 }
 
-// FailureRate returns the observed per-attempt *transient* failure
-// probability of the model (transient failures over total attempts);
-// the optimizer feeds it to costs.RetryAdjustedCost so expected
-// retries show up in the Eq. 3 accounting. Permanent failures are
-// deliberately excluded: they route through the circuit breaker
-// (trip, cooldown, probe) rather than inflating the model's planning
-// cost — otherwise a single hard failure would poison the cost model
-// with no recovery path. A model with no observed attempts reports 0.
-func (r *Runtime) FailureRate(name string) float64 {
+// ModelHealthy reports the default domain's breaker admission.
+func (r *Runtime) ModelHealthy(name string) bool { return r.def.ModelHealthy(name) }
+
+// FailureRate returns the domain's observed per-attempt *transient*
+// failure probability of the model (transient failures over total
+// attempts); the optimizer feeds it to costs.RetryAdjustedCost so
+// expected retries show up in the Eq. 3 accounting. Permanent
+// failures are deliberately excluded: they route through the circuit
+// breaker (trip, cooldown, probe) rather than inflating the model's
+// planning cost — otherwise a single hard failure would poison the
+// cost model with no recovery path. A model with no observed attempts
+// reports 0.
+func (d *Domain) FailureRate(name string) float64 {
 	key := strings.ToLower(name)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	attempts := r.evals[key] + r.failed[key]
-	if attempts == 0 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.attempts[key] == 0 {
 		return 0
 	}
-	return float64(r.transient[key]) / float64(attempts)
+	return float64(d.transient[key]) / float64(d.attempts[key])
 }
+
+// FailureRate reports the default domain's observed failure rate.
+func (r *Runtime) FailureRate(name string) float64 { return r.def.FailureRate(name) }
 
 func (r *Runtime) countFailed(name string, isTransient bool) {
 	r.mu.Lock()
@@ -265,9 +290,9 @@ func EvalIdentity(udfName string, args []types.Datum) uint64 {
 // evalResilient runs one UDF invocation with transient-fault retry and
 // circuit breaking. eval performs a single attempt (and must wrap its
 // own errors with the UDF name). Every attempt — failed or not — is
-// charged the model's profiled cost; backoff between attempts is
-// charged to the Retry category so resilience shows up in the
-// simulated-time breakdown.
+// charged the model's profiled cost on the domain's clock; backoff
+// between attempts is charged to the Retry category so resilience
+// shows up in the simulated-time breakdown.
 //
 // id keys the injector's per-invocation fault decisions (see
 // faults.CheckEval). hs, when non-nil, replaces the live breaker
@@ -276,41 +301,44 @@ func EvalIdentity(udfName string, args []types.Datum) uint64 {
 // CommitOutcomes. The executor's parallel apply path supplies all
 // three; legacy callers pass a zero id (harmless without an injector)
 // and nil for both, keeping the immediate-commit behavior. The
-// demand/failure counters always commit immediately: they are sums,
-// so scheduling order cannot change their totals.
-func (r *Runtime) evalResilient(u *catalog.UDF, id uint64, hs *HealthSnapshot, sink *OutcomeSink, eval func() error) error {
+// runtime's demand/failure counters always commit immediately: they
+// are sums, so scheduling order cannot change their totals.
+func (d *Domain) evalResilient(u *catalog.UDF, id uint64, hs *HealthSnapshot, sink *OutcomeSink, eval func() error) error {
+	r := d.r
 	if hs != nil {
 		if err := hs.allow(u); err != nil {
 			return err
 		}
-	} else if err := r.breakerAllow(u); err != nil {
+	} else if err := d.breakerAllow(u); err != nil {
 		return err
 	}
 	commit := func(ok bool) {
 		if sink != nil {
 			sink.record(u.Name, ok)
 		} else {
-			r.noteOutcome(u.Name, ok)
+			d.noteOutcome(u.Name, ok)
 		}
 	}
 	max := r.maxAttempts()
 	site := faults.SiteUDF(u.Name)
 	for attempt := 1; ; attempt++ {
-		r.clock.Charge(simclock.CatUDF, u.Cost)
+		d.clock.Charge(simclock.CatUDF, u.Cost)
 		var err error
-		if ferr := r.injector().CheckEval(site, id, attempt); ferr != nil {
+		if ferr := d.injector().CheckEval(site, id, attempt); ferr != nil {
 			err = fmt.Errorf("udf: %s: %w", u.Name, ferr)
 		} else {
 			err = eval()
 		}
 		if err == nil {
 			r.countEval(u.Name)
+			d.noteAttempt(u.Name, false)
 			commit(true)
 			return nil
 		}
 		r.countFailed(u.Name, faults.IsTransient(err))
+		d.noteAttempt(u.Name, faults.IsTransient(err))
 		if faults.IsTransient(err) && attempt < max {
-			r.clock.Charge(simclock.CatRetry, costs.RetryBackoff(attempt+1))
+			d.clock.Charge(simclock.CatRetry, costs.RetryBackoff(attempt+1))
 			r.countRetry(u.Name)
 			continue
 		}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"eva/internal/catalog"
-	"eva/internal/faults"
 	"eva/internal/simclock"
 	"eva/internal/types"
 	"eva/internal/vision"
@@ -69,16 +68,19 @@ type Runtime struct {
 	transient map[string]int            // guarded by mu; transient subset of failed
 	retried   map[string]int            // guarded by mu
 
-	inj            *faults.Injector    // guarded by mu
-	breakers       map[string]*breaker // guarded by mu
-	retryMax       int                 // guarded by mu; 0 = costs.RetryMaxAttempts
-	breakThreshold int                 // guarded by mu; 0 = DefaultBreakerThreshold
-	breakCooldown  time.Duration       // guarded by mu; 0 = DefaultBreakerCooldown
+	retryMax       int           // guarded by mu; 0 = costs.RetryMaxAttempts
+	breakThreshold int           // guarded by mu; 0 = DefaultBreakerThreshold
+	breakCooldown  time.Duration // guarded by mu; 0 = DefaultBreakerCooldown
+
+	// def is the default evaluation domain: the breaker/injector/clock
+	// scope used by every legacy Runtime entry point. Sessions create
+	// their own domains via NewDomain. Immutable after NewRuntime.
+	def *Domain
 }
 
 // NewRuntime returns a runtime over the catalog, charging the clock.
 func NewRuntime(cat *catalog.Catalog, clock *simclock.Clock) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		cat:       cat,
 		clock:     clock,
 		scalarC:   map[xxhash.Key128]types.Datum{},
@@ -92,8 +94,9 @@ func NewRuntime(cat *catalog.Catalog, clock *simclock.Clock) *Runtime {
 		failed:    map[string]int{},
 		transient: map[string]int{},
 		retried:   map[string]int{},
-		breakers:  map[string]*breaker{},
 	}
+	r.def = r.NewDomain(clock)
+	return r
 }
 
 // SetFunCache toggles the FunCache baseline behaviour.
@@ -171,10 +174,10 @@ func (r *Runtime) HitPercentage() float64 {
 }
 
 // ResetCounters clears demand/reuse accounting (a fresh workload),
-// drops the FunCache contents, and closes all circuit breakers.
+// drops the FunCache contents, and closes the default domain's
+// circuit breakers.
 func (r *Runtime) ResetCounters() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.demand = map[string]map[uint64]int{}
 	r.total = map[string]int{}
 	r.reused = map[string]int{}
@@ -182,18 +185,20 @@ func (r *Runtime) ResetCounters() {
 	r.failed = map[string]int{}
 	r.transient = map[string]int{}
 	r.retried = map[string]int{}
-	r.breakers = map[string]*breaker{}
 	r.scalarC = map[xxhash.Key128]types.Datum{}
 	r.tableC = map[xxhash.Key128]*types.Batch{}
+	r.mu.Unlock()
+	r.def.reset()
 }
 
-// hashArgs charges the simulated FunCache hashing cost and returns the
-// 128-bit key. The charged bytes are the *virtual* argument sizes: a
-// frame argument counts as its decoded RGB24 size, because that is
-// what the paper's engine feeds xxHash.
-func (r *Runtime) hashArgs(virtualBytes int, raw []byte) xxhash.Key128 {
+// hashArgs charges the simulated FunCache hashing cost to the
+// domain's clock and returns the 128-bit key. The charged bytes are
+// the *virtual* argument sizes: a frame argument counts as its
+// decoded RGB24 size, because that is what the paper's engine feeds
+// xxHash.
+func (d *Domain) hashArgs(virtualBytes int, raw []byte) xxhash.Key128 {
 	perPass := time.Duration(float64(virtualBytes) / FunCacheHashThroughput * float64(time.Second))
-	r.clock.Charge(simclock.CatHash, 2*perPass) // two passes: 128-bit key
+	d.clock.Charge(simclock.CatHash, 2*perPass) // two passes: 128-bit key
 	return xxhash.Sum128(raw)
 }
 
@@ -229,11 +234,16 @@ func rawArgs(udfName string, args []types.Datum) []byte {
 // decisions are keyed by the argument-derived identity; callers with
 // an executor-assigned invocation index use EvalDetectorAt.
 func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error) {
+	return r.def.EvalDetector(name, payload)
+}
+
+// EvalDetector is the domain-scoped form of Runtime.EvalDetector.
+func (d *Domain) EvalDetector(name string, payload []byte) (*types.Batch, error) {
 	var id uint64
-	if r.injector() != nil {
+	if d.injector() != nil {
 		id = EvalIdentity(name, []types.Datum{types.NewBytes(payload)})
 	}
-	return r.EvalDetectorAt(name, payload, id, nil, nil)
+	return d.EvalDetectorAt(name, payload, id, nil, nil)
 }
 
 // EvalDetectorAt is EvalDetector with an explicit call identity for
@@ -243,6 +253,12 @@ func (r *Runtime) EvalDetector(name string, payload []byte) (*types.Batch, error
 // the injected schedule does not depend on which of several
 // same-argument rows wins the singleflight claim.
 func (r *Runtime) EvalDetectorAt(name string, payload []byte, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (*types.Batch, error) {
+	return r.def.EvalDetectorAt(name, payload, id, hs, sink)
+}
+
+// EvalDetectorAt is the domain-scoped form of Runtime.EvalDetectorAt.
+func (d *Domain) EvalDetectorAt(name string, payload []byte, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (*types.Batch, error) {
+	r := d.r
 	u, err := r.cat.UDF(name)
 	if err != nil {
 		return nil, err
@@ -253,7 +269,7 @@ func (r *Runtime) EvalDetectorAt(name string, payload []byte, id uint64, hs *Hea
 	args := []types.Datum{types.NewBytes(payload)}
 	if r.isFunCache() {
 		raw := rawArgs(u.Name, args)
-		key := r.hashArgs(virtualArgBytes(args), raw)
+		key := d.hashArgs(virtualArgBytes(args), raw)
 		id = key.Hi ^ key.Lo // claimant-independent identity
 		// lint:nolock the accessor closure runs under mu inside claimFlight
 		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]*types.Batch { return r.tableC }, key)
@@ -262,22 +278,22 @@ func (r *Runtime) EvalDetectorAt(name string, payload []byte, id uint64, hs *Hea
 			return cached, nil
 		}
 		defer done()
-		out, err := r.runDetector(u, payload, id, hs, sink)
+		out, err := d.runDetector(u, payload, id, hs, sink)
 		if err != nil {
 			return nil, err
 		}
-		r.clock.Charge(simclock.CatHash, FunCacheStoreCost)
+		d.clock.Charge(simclock.CatHash, FunCacheStoreCost)
 		r.mu.Lock()
 		r.tableC[key] = out
 		r.mu.Unlock()
 		return out, nil
 	}
-	return r.runDetector(u, payload, id, hs, sink)
+	return d.runDetector(u, payload, id, hs, sink)
 }
 
-func (r *Runtime) runDetector(u *catalog.UDF, payload []byte, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (*types.Batch, error) {
+func (d *Domain) runDetector(u *catalog.UDF, payload []byte, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (*types.Batch, error) {
 	var out *types.Batch
-	err := r.evalResilient(u, id, hs, sink, func() error {
+	err := d.evalResilient(u, id, hs, sink, func() error {
 		dets, err := vision.Detect(u.Name, payload)
 		if err != nil {
 			return fmt.Errorf("udf: %s: %w", u.Name, err)
@@ -303,11 +319,16 @@ func (r *Runtime) runDetector(u *catalog.UDF, payload []byte, id uint64, hs *Hea
 // Fault decisions are keyed by the argument-derived identity; callers
 // with an executor-assigned invocation index use EvalScalarAt.
 func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, error) {
+	return r.def.EvalScalar(name, args)
+}
+
+// EvalScalar is the domain-scoped form of Runtime.EvalScalar.
+func (d *Domain) EvalScalar(name string, args []types.Datum) (types.Datum, error) {
 	var id uint64
-	if r.injector() != nil {
+	if d.injector() != nil {
 		id = EvalIdentity(name, args)
 	}
-	return r.EvalScalarAt(name, args, id, nil, nil)
+	return d.EvalScalarAt(name, args, id, nil, nil)
 }
 
 // EvalScalarAt is EvalScalar with an explicit call identity for fault
@@ -317,6 +338,12 @@ func (r *Runtime) EvalScalar(name string, args []types.Datum) (types.Datum, erro
 // the injected schedule does not depend on which of several
 // same-argument rows wins the singleflight claim.
 func (r *Runtime) EvalScalarAt(name string, args []types.Datum, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (types.Datum, error) {
+	return r.def.EvalScalarAt(name, args, id, hs, sink)
+}
+
+// EvalScalarAt is the domain-scoped form of Runtime.EvalScalarAt.
+func (d *Domain) EvalScalarAt(name string, args []types.Datum, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (types.Datum, error) {
+	r := d.r
 	u, err := r.cat.UDF(name)
 	if err != nil {
 		return types.Null, err
@@ -326,7 +353,7 @@ func (r *Runtime) EvalScalarAt(name string, args []types.Datum, id uint64, hs *H
 	}
 	if r.isFunCache() && u.Expensive {
 		raw := rawArgs(u.Name, args)
-		key := r.hashArgs(virtualArgBytes(args), raw)
+		key := d.hashArgs(virtualArgBytes(args), raw)
 		id = key.Hi ^ key.Lo // claimant-independent identity
 		// lint:nolock the accessor closure runs under mu inside claimFlight
 		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]types.Datum { return r.scalarC }, key)
@@ -335,22 +362,23 @@ func (r *Runtime) EvalScalarAt(name string, args []types.Datum, id uint64, hs *H
 			return cached, nil
 		}
 		defer done()
-		out, err := r.runScalar(u, args, id, hs, sink)
+		out, err := d.runScalar(u, args, id, hs, sink)
 		if err != nil {
 			return types.Null, err
 		}
-		r.clock.Charge(simclock.CatHash, FunCacheStoreCost)
+		d.clock.Charge(simclock.CatHash, FunCacheStoreCost)
 		r.mu.Lock()
 		r.scalarC[key] = out
 		r.mu.Unlock()
 		return out, nil
 	}
-	return r.runScalar(u, args, id, hs, sink)
+	return d.runScalar(u, args, id, hs, sink)
 }
 
-func (r *Runtime) runScalar(u *catalog.UDF, args []types.Datum, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (types.Datum, error) {
+func (d *Domain) runScalar(u *catalog.UDF, args []types.Datum, id uint64, hs *HealthSnapshot, sink *OutcomeSink) (types.Datum, error) {
+	r := d.r
 	var out types.Datum
-	err := r.evalResilient(u, id, hs, sink, func() error {
+	err := d.evalResilient(u, id, hs, sink, func() error {
 		var err error
 		switch {
 		case strings.HasPrefix(u.Impl, "builtin:"):

@@ -15,18 +15,24 @@ import (
 
 // Signature is a UDF's unique fingerprint S_u = [N_u; I_u]: the UDF
 // name plus the set of sources (columns of the input video or outputs
-// of other UDFs) it reads (§3.1 step ②). EVA reuses results across
-// UDF occurrences with identical signatures.
+// of other UDFs) it reads (§3.1 step ②), qualified by the source
+// table the inputs come from. EVA reuses results across UDF
+// occurrences with identical signatures; qualification by table keeps
+// invocations over different videos — and different sessions'
+// private tables — in disjoint views and aggregated predicates, so a
+// frame id from one video can never serve a lookup against another.
 type Signature struct {
+	Table  string
 	Name   string
 	Inputs []string
 }
 
-// NewSignature builds a signature from a UDF name and the argument
-// expressions of one of its invocations. Argument columns are
-// normalized (lower-cased, sorted) so that syntactic argument order
-// does not split signatures.
-func NewSignature(name string, args []expr.Expr) Signature {
+// NewSignature builds a signature from the source table, a UDF name
+// and the argument expressions of one of its invocations. Argument
+// columns are normalized (lower-cased, sorted) so that syntactic
+// argument order does not split signatures. An empty table yields an
+// unqualified signature (unit-test convenience).
+func NewSignature(table, name string, args []expr.Expr) Signature {
 	inputSet := map[string]struct{}{}
 	for _, a := range args {
 		for _, c := range expr.CollectColumns(a) {
@@ -45,13 +51,17 @@ func NewSignature(name string, args []expr.Expr) Signature {
 			inputs[j], inputs[j-1] = inputs[j-1], inputs[j]
 		}
 	}
-	return Signature{Name: strings.ToLower(name), Inputs: inputs}
+	return Signature{Table: strings.ToLower(table), Name: strings.ToLower(name), Inputs: inputs}
 }
 
 // Key returns the canonical string form used as a map key and as the
-// materialized view name.
+// materialized view name, qualified by the source table when set.
 func (s Signature) Key() string {
-	return s.Name + "[" + strings.Join(s.Inputs, ",") + "]"
+	base := s.Name + "[" + strings.Join(s.Inputs, ",") + "]"
+	if s.Table == "" {
+		return base
+	}
+	return s.Table + "." + base
 }
 
 // String implements fmt.Stringer.
@@ -84,5 +94,5 @@ func (s Signature) KeyColumns() []string {
 
 // ViewName returns the storage name of the signature's view.
 func (s Signature) ViewName() string {
-	return fmt.Sprintf("udf_%s", strings.NewReplacer("[", "_", "]", "", ",", "_").Replace(s.Key()))
+	return fmt.Sprintf("udf_%s", strings.NewReplacer("[", "_", "]", "", ",", "_", ".", "_").Replace(s.Key()))
 }

@@ -14,8 +14,8 @@ import (
 )
 
 func TestSignatureNormalization(t *testing.T) {
-	a := NewSignature("CarType", []expr.Expr{expr.NewColumn("frame"), expr.NewColumn("bbox")})
-	b := NewSignature("cartype", []expr.Expr{expr.NewColumn("BBOX"), expr.NewColumn("Frame")})
+	a := NewSignature("", "CarType", []expr.Expr{expr.NewColumn("frame"), expr.NewColumn("bbox")})
+	b := NewSignature("", "cartype", []expr.Expr{expr.NewColumn("BBOX"), expr.NewColumn("Frame")})
 	if a.Key() != b.Key() {
 		t.Errorf("signatures differ: %s vs %s", a, b)
 	}
@@ -25,7 +25,7 @@ func TestSignatureNormalization(t *testing.T) {
 	if got := a.KeyColumns(); len(got) != 2 || got[0] != "bbox" || got[1] != "id" {
 		t.Errorf("key columns = %v", got)
 	}
-	det := NewSignature("FasterRCNNResnet50", []expr.Expr{expr.NewColumn("frame")})
+	det := NewSignature("", "FasterRCNNResnet50", []expr.Expr{expr.NewColumn("frame")})
 	if got := det.KeyColumns(); len(got) != 1 || got[0] != "id" {
 		t.Errorf("detector key columns = %v", got)
 	}
@@ -33,12 +33,12 @@ func TestSignatureNormalization(t *testing.T) {
 		t.Errorf("view name = %q", det.ViewName())
 	}
 	// Nested calls contribute their function name as a source.
-	nested := NewSignature("f", []expr.Expr{expr.NewCall("g", expr.NewColumn("x"))})
+	nested := NewSignature("", "f", []expr.Expr{expr.NewCall("g", expr.NewColumn("x"))})
 	if key := nested.Key(); key != "f[g,x]" {
 		t.Errorf("nested key = %q", key)
 	}
 	// No args still keys by frame id.
-	empty := NewSignature("f", nil)
+	empty := NewSignature("", "f", nil)
 	if got := empty.KeyColumns(); len(got) != 1 || got[0] != "id" {
 		t.Errorf("empty key columns = %v", got)
 	}
@@ -59,7 +59,7 @@ func pred(t *testing.T, s string, lo, hi float64) symbolic.DNF {
 
 func TestManagerLifecycle(t *testing.T) {
 	m := NewManager()
-	sig := NewSignature("det", []expr.Expr{expr.NewColumn("frame")})
+	sig := NewSignature("", "det", []expr.Expr{expr.NewColumn("frame")})
 	e := m.Lookup(sig)
 	if !e.Agg.IsFalse() {
 		t.Error("fresh entry should have p_u = FALSE")
@@ -92,7 +92,7 @@ func TestManagerLifecycle(t *testing.T) {
 		t.Errorf("p_u atoms = %d (%s), want 2 ([0, 12000))", got, e.Agg)
 	}
 
-	if _, ok := m.Peek(NewSignature("other", nil)); ok {
+	if _, ok := m.Peek(NewSignature("", "other", nil)); ok {
 		t.Error("Peek should not create entries")
 	}
 	if len(m.Entries()) != 1 {

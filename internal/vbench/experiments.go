@@ -61,6 +61,7 @@ func Experiments() []Experiment {
 		{ID: "storage", Title: "§5.2 — Storage Footprint", Paper: "≤0.09% extra storage (1.001× total)", Run: ExpStorage},
 		{ID: "parallel", Title: "Parallel executor — wall-clock speedup (scan+UDF)", Paper: "engine extension (DESIGN.md §10): wall-clock speedup at identical simulated time", Run: ExpParallel},
 		{ID: "chaos", Title: "Chaos differential — fault determinism across worker counts", Paper: "engine extension (DESIGN.md §9–10): fault-injected runs byte-identical at every worker count", Run: ExpChaos},
+		{ID: "server", Title: "Serving layer — open-loop multi-session load", Paper: "engine extension (DESIGN.md §11): admitted/shed counts, virtual queue-wait percentiles, throughput", Run: ExpServer},
 	}
 }
 

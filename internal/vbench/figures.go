@@ -143,7 +143,11 @@ type atomTriple struct{ inter, diff, union int }
 
 func evaAtomsFor(preds map[string]eva.PredInfo, udfName string) atomTriple {
 	for sig, info := range preds {
-		if strings.HasPrefix(sig, udfName+"[") {
+		base := sig
+		if i := strings.Index(base, "."); i >= 0 {
+			base = base[i+1:] // strip the table qualifier
+		}
+		if strings.HasPrefix(base, udfName+"[") {
 			return atomTriple{inter: info.InterAtoms, diff: info.DiffAtoms, union: info.UnionAtoms}
 		}
 	}

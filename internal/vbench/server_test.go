@@ -1,0 +1,37 @@
+package vbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunServerBenchSmall drives a scaled-down serving-layer load run:
+// every query must resolve to success or a typed shed (the runner
+// errors on anything else), and the outcomes must account for every
+// issued query.
+func TestRunServerBenchSmall(t *testing.T) {
+	cfg := ServerBenchConfig{
+		Sessions:          4,
+		QueriesPerSession: 3,
+		MaxConcurrent:     1,
+		QueueDepth:        1,
+		QueueTimeout:      time.Second,
+		Workers:           1,
+	}
+	res, err := RunServerBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != cfg.Sessions*cfg.QueriesPerSession {
+		t.Errorf("queries = %d, want %d", res.Queries, cfg.Sessions*cfg.QueriesPerSession)
+	}
+	if got := res.Succeeded + res.ShedOverload + res.ShedTimeout; got != res.Queries {
+		t.Errorf("outcomes %d do not account for %d queries", got, res.Queries)
+	}
+	if res.Succeeded == 0 {
+		t.Error("nothing succeeded under load")
+	}
+	if res.SimNs == 0 {
+		t.Error("no simulated time charged")
+	}
+}

@@ -1,0 +1,203 @@
+package eva
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"eva/internal/core"
+	"eva/internal/faults"
+	"eva/internal/parser"
+	"eva/internal/plan"
+	"eva/internal/server"
+	"eva/internal/simclock"
+	"eva/internal/udf"
+)
+
+// Session is one client's view of a shared System. Sessions run
+// concurrently against the same catalog, UDF runtime and materialized
+// views; each session carries its own virtual clock, its own circuit
+// breakers and fault schedule (a udf.Domain), and a fresh per-query
+// memory budget. Concurrent sessions share views safely: a key being
+// evaluated by one session is claimed, so another session needing it
+// waits and then reuses the materialized rows instead of recomputing
+// them.
+//
+// A Session is owned by one client goroutine; its methods serialize
+// against each other but not against other sessions. All sessions
+// pass the System's admission controller.
+type Session struct {
+	sys    *System
+	clock  *simclock.Clock
+	domain *udf.Domain
+
+	mu sync.Mutex
+	// inj is this session's deterministic fault injector. guarded by mu.
+	inj *faults.Injector
+	// closed rejects further statements with ErrClosed. guarded by mu.
+	closed bool
+}
+
+// NewSession opens a session over the System. Sessions are cheap:
+// closing one releases no shared state, and any number may be open.
+func (s *System) NewSession() *Session {
+	clock := &simclock.Clock{}
+	return &Session{
+		sys:    s,
+		clock:  clock,
+		domain: s.rt().NewDomain(clock),
+	}
+}
+
+// InjectFaults installs this session's deterministic fault injector:
+// its UDF evaluations and view-log writes draw from this schedule
+// (other sessions are unaffected). nil disables injection.
+func (sess *Session) InjectFaults(inj *faults.Injector) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.inj = inj
+	sess.domain.SetInjector(inj)
+}
+
+// injector returns the session injector under the session lock.
+func (sess *Session) injector() *faults.Injector {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.inj
+}
+
+// Close marks the session closed; subsequent statements fail with
+// ErrClosed. It does not affect the System or other sessions.
+func (sess *Session) Close() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.closed = true
+	return nil
+}
+
+// begin gates one statement: session must be open, system must be
+// open, and the admission controller must grant a token. On success
+// the caller holds the system's query read-lock and the grant.
+func (sess *Session) begin() (*server.Grant, error) {
+	sess.mu.Lock()
+	closed := sess.closed
+	sess.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	sess.sys.qmu.RLock()
+	if sess.sys.closed {
+		sess.sys.qmu.RUnlock()
+		return nil, ErrClosed
+	}
+	g, err := sess.sys.ctl.Admit()
+	if err != nil {
+		sess.sys.qmu.RUnlock()
+		return nil, err
+	}
+	return g, nil
+}
+
+// Exec parses and executes one EVA-QL statement in this session.
+func (sess *Session) Exec(sql string) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return sess.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, returning the
+// last statement's result.
+func (sess *Session) ExecScript(sql string) (*Result, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		last, err = sess.ExecStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes one parsed statement in this session: admission
+// first (ErrOverloaded / ErrQueueTimeout shed without executing),
+// then execution charged to the session clock, whose per-statement
+// total both feeds the admission clock and is folded into the
+// System's global clock (sums commute, so the global totals are
+// schedule-independent).
+func (sess *Session) ExecStmt(stmt parser.Statement) (*Result, error) {
+	g, err := sess.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer sess.sys.qmu.RUnlock()
+	start := time.Now()
+	snap := sess.clock.Snapshot()
+	res, err := sess.dispatch(stmt)
+	bd := sess.clock.Since(snap)
+	g.Release(bd.Total())
+	sess.sys.mergeBreakdown(bd)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	res.Breakdown = bd
+	res.SimTime = bd.Total()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// dispatch routes SELECTs through the session execution path; every
+// other statement kind acts on shared state and reuses the System's
+// handlers.
+func (sess *Session) dispatch(stmt parser.Statement) (*Result, error) {
+	if st, ok := stmt.(*parser.SelectStmt); ok {
+		return sess.execSelect(st)
+	}
+	return sess.sys.dispatch(stmt)
+}
+
+func (sess *Session) execSelect(stmt *parser.SelectStmt) (*Result, error) {
+	s := sess.sys
+	mode := s.optimizerMode()
+	table := strings.ToLower(stmt.From)
+	if s.cfg.Mode == ModeHashStash {
+		mode.TableCovered = func(udfName string, lo, hi int64) bool {
+			return s.recCovered(recyclerKey(table, udfName), lo, hi)
+		}
+	}
+	out, err := s.eng.ExecuteWith(stmt, mode, core.ExecOpts{
+		Clock:    sess.clock,
+		Domain:   sess.domain,
+		Faults:   sess.injector(),
+		Budget:   server.NewMemBudget(s.cfg.MemoryBudget),
+		Sessions: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Mode == ModeHashStash && out.Report.DetectorEval != "" {
+		s.recAdd(recyclerKey(table, out.Report.DetectorEval), out.Report.ScanLo, out.Report.ScanHi)
+	}
+	return &Result{Rows: out.Rows, PlanText: plan.Explain(out.Plan), Report: out.Report}, nil
+}
+
+// SimulatedTime returns the session clock's total.
+func (sess *Session) SimulatedTime() time.Duration { return sess.clock.Total() }
+
+// mergeBreakdown folds one session statement's charges into the
+// global clock, category by category. Charges are sums, so concurrent
+// merges commute and System.SimulatedTime stays the sum of all work
+// ever done, regardless of session interleaving.
+func (s *System) mergeBreakdown(bd Breakdown) {
+	for cat, d := range bd {
+		s.clock().Charge(cat, d)
+	}
+}
