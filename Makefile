@@ -58,10 +58,11 @@ server-stress:
 
 # cover enforces a coverage floor on the packages at the heart of the
 # correctness argument: the executor (parallel merge, pipelining,
-# view maintenance) and the symbolic algebra (Algorithm 1).
+# view maintenance), the symbolic algebra (Algorithm 1), and the
+# static-analysis suite that machine-checks the engine's invariants.
 COVER_FLOOR ?= 85
 cover:
-	@for pkg in ./internal/exec ./internal/symbolic; do \
+	@for pkg in ./internal/exec ./internal/symbolic ./internal/lint; do \
 		out=$$($(GO) test -cover $$pkg | tail -1); \
 		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "no coverage for $$pkg: $$out"; exit 1; fi; \

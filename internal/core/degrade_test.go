@@ -60,7 +60,7 @@ func TestDegradeToFallbackModel(t *testing.T) {
 func TestAllModelsDownFailsCleanly(t *testing.T) {
 	e := newEngine(t)
 	inj := faults.New(5)
-	inj.Rule(faults.SiteUDF("*"), faults.Rule{Kind: faults.Permanent, Prob: 1})
+	inj.Rule(faults.SiteUDFAny, faults.Rule{Kind: faults.Permanent, Prob: 1})
 	e.SetFaults(inj)
 
 	_, err := e.Execute(sel(t, logicalSQL), optimizer.EVAMode())

@@ -266,6 +266,11 @@ func newScanIter(ctx *Context, node *plan.Scan) (*scanIter, error) {
 	return &scanIter{ctx: ctx, video: v, pos: lo, hi: hi, width: ctx.batchSize()}, nil
 }
 
+// next produces the next scan batch, degrading the batch width under
+// memory pressure. Allocation here is batch-granular: the row loop is
+// gated so the pooled-batch refactor cannot regress to per-row heap
+// traffic.
+// lint:hotpath scan inner loop must not allocate per row
 func (s *scanIter) next() (*types.Batch, error) {
 	// The previous batch has flowed downstream; its reservation stands
 	// in for "one batch resident" and is returned before the next scan.
@@ -314,6 +319,10 @@ type filterIter struct {
 	node *plan.Filter
 }
 
+// next evaluates the predicate over one batch. The per-row loop is
+// allocation-gated: the keep bitmap and resolver are built once per
+// batch, and each row only evaluates the predicate against them.
+// lint:hotpath filter row loop must not allocate per row
 func (f *filterIter) next() (*types.Batch, error) {
 	for {
 		b, err := f.in.next()
@@ -704,6 +713,10 @@ func (a *applyIter) evalPhase(b *types.Batch, decisions []rowDecision) {
 
 // evalRow evaluates the UDF for one input row, returning the output
 // rows in a.node.Out's schema. Called concurrently for distinct rows.
+// Its argument loop is allocation-gated: args is sized once per row
+// before the loop, and argument evaluation must not heap-allocate per
+// argument.
+// lint:hotpath apply argument loop must not allocate per argument
 func (a *applyIter) evalRow(b *types.Batch, r int, d *rowDecision, hs *udf.HealthSnapshot) (*types.Batch, error) {
 	res := &rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b, row: r,
 		id: d.id, sink: d.sink, hs: hs}
@@ -846,6 +859,9 @@ type projectIter struct {
 	node *plan.Project
 }
 
+// next projects one batch. The output batch and the scratch row are
+// sized once per batch; the row loop only writes into them.
+// lint:hotpath project row loop must not allocate per row
 func (p *projectIter) next() (*types.Batch, error) {
 	b, err := p.in.next()
 	if err != nil || b == nil {

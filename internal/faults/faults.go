@@ -441,14 +441,79 @@ func (i *Injector) Injected() int {
 	return len(i.log)
 }
 
-// Site name constructors shared by the engine's fault sites, so tests
-// and production code cannot drift apart on spelling.
+// Site name constants and constructors shared by the engine's fault
+// sites, so tests and production code cannot drift apart on spelling.
+// The evalint faultsite analyzer statically resolves every site
+// literal reaching Rule/Check/CheckEval/CheckWrite against this
+// registry: Site*Prefix constants open a site family, the remaining
+// Site* constants are exact sites or wildcard patterns, and a literal
+// outside the registry is a typo that would silently never inject.
+const (
+	// SiteUDFPrefix opens the evaluation-site family of physical
+	// models ("udf:<model>").
+	SiteUDFPrefix = "udf:"
+	// SiteViewWritePrefix opens the log-append-site family of
+	// materialized views ("view:write:<view>").
+	SiteViewWritePrefix = "view:write:"
+	// SiteDeadline is the query-deadline site checked by the executor.
+	SiteDeadline = "exec:deadline"
+	// SiteAny is the wildcard rule pattern matching every site.
+	SiteAny = "*"
+	// SiteUDFAny is the rule pattern matching every model site.
+	SiteUDFAny = SiteUDFPrefix + "*"
+	// SiteViewWriteAny is the rule pattern matching every view-write
+	// site.
+	SiteViewWriteAny = SiteViewWritePrefix + "*"
+)
+
+// Sites is the central registry of fault-site families. Exact lists
+// standalone sites; Prefixes lists the open families whose members are
+// built by the Site* constructors below.
+var Sites = struct {
+	Exact    []string
+	Prefixes []string
+}{
+	Exact:    []string{SiteDeadline},
+	Prefixes: []string{SiteUDFPrefix, SiteViewWritePrefix},
+}
+
+// RegisteredSite reports whether a concrete site name or wildcard rule
+// pattern resolves to the registry: an exact site, a member of a
+// prefix family, or a "*"-pattern that can match at least one
+// registered site. This is the runtime twin of the evalint faultsite
+// analyzer's static check.
+func RegisteredSite(pat string) bool {
+	if pat == SiteAny {
+		return true
+	}
+	if stem, ok := strings.CutSuffix(pat, "*"); ok {
+		for _, p := range Sites.Prefixes {
+			if strings.HasPrefix(p, stem) || strings.HasPrefix(stem, p) {
+				return true
+			}
+		}
+		for _, e := range Sites.Exact {
+			if strings.HasPrefix(e, stem) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range Sites.Exact {
+		if pat == e {
+			return true
+		}
+	}
+	for _, p := range Sites.Prefixes {
+		if strings.HasPrefix(pat, p) && len(pat) > len(p) {
+			return true
+		}
+	}
+	return false
+}
 
 // SiteUDF is the evaluation site of a physical model.
-func SiteUDF(model string) string { return "udf:" + strings.ToLower(model) }
+func SiteUDF(model string) string { return SiteUDFPrefix + strings.ToLower(model) }
 
 // SiteViewWrite is the log-append site of a materialized view.
-func SiteViewWrite(view string) string { return "view:write:" + strings.ToLower(view) }
-
-// SiteDeadline is the query-deadline site checked by the executor.
-const SiteDeadline = "exec:deadline"
+func SiteViewWrite(view string) string { return SiteViewWritePrefix + strings.ToLower(view) }

@@ -304,3 +304,52 @@ func TestWriteAtMatchesArrivalOrdinal(t *testing.T) {
 		t.Fatalf("crash fired at %v, want [3]", fired)
 	}
 }
+
+// TestRegisteredSite pins the site registry: every constructor output
+// and wildcard pattern resolves, and near-miss typos do not — the
+// runtime twin of the evalint faultsite analyzer's static check.
+func TestRegisteredSite(t *testing.T) {
+	valid := []string{
+		SiteUDF("YoloTiny"),
+		SiteViewWrite("udf_x_frame"),
+		SiteDeadline,
+		SiteAny,
+		SiteUDFAny,
+		SiteViewWriteAny,
+		"view:*",            // stem on the way to a registered family
+		"udf:yolo*",         // wildcard inside a family
+		"view:write:udf_x*", // wildcard inside a family
+	}
+	for _, s := range valid {
+		if !RegisteredSite(s) {
+			t.Errorf("RegisteredSite(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{
+		"",
+		"udf",               // family prefix without the separator or a member
+		"udf:",              // family prefix with no member
+		"uddf:yolotiny",     // typo'd family
+		"veiw:write:*",      // typo'd family wildcard
+		"exec:deadlines",    // near-miss of an exact site
+		"exec:deadline:sub", // exact sites are not families
+	}
+	for _, s := range invalid {
+		if RegisteredSite(s) {
+			t.Errorf("RegisteredSite(%q) = true, want false", s)
+		}
+	}
+}
+
+// TestSitesRegistryCoversConstants: the Sites registry and the Site*
+// constants cannot drift apart.
+func TestSitesRegistryCoversConstants(t *testing.T) {
+	wantExact := []string{SiteDeadline}
+	wantPrefixes := []string{SiteUDFPrefix, SiteViewWritePrefix}
+	if fmt.Sprint(Sites.Exact) != fmt.Sprint(wantExact) {
+		t.Errorf("Sites.Exact = %v, want %v", Sites.Exact, wantExact)
+	}
+	if fmt.Sprint(Sites.Prefixes) != fmt.Sprint(wantPrefixes) {
+		t.Errorf("Sites.Prefixes = %v, want %v", Sites.Prefixes, wantPrefixes)
+	}
+}

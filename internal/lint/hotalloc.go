@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc is the allocation gate on the execution hot path. Functions
+// whose declaration carries a "// lint:hotpath <why>" annotation
+// promise not to heap-allocate per row; the analyzer enforces that
+// inside their row loops — the innermost for/range statements — by
+// forbidding:
+//
+//   - composite literals (each iteration constructs a fresh value
+//     that usually escapes);
+//   - make and append (per-row slice/map growth; size buffers per
+//     batch, outside the row loop);
+//   - fmt.Sprint* / fmt.Errorf / fmt.Append* and string
+//     concatenation (per-row formatting allocates strings);
+//   - interface boxing: passing or assigning a concrete non-pointer
+//     value where an interface is expected stores it in a fresh heap
+//     cell.
+//
+// Allocations inside a return statement are exempt — a return
+// terminates the loop, so the allocation happens at most once per
+// call (the error path). "// lint:coldalloc <why>" on or above a
+// statement exempts a deliberate cold allocation inside the loop.
+//
+// The gate exists so the pooled-batch refactor (zero-allocation
+// scan→filter→apply) cannot silently regress: once a function is
+// marked and clean, a future per-row allocation fails the build.
+type HotAlloc struct{}
+
+// NewHotAlloc builds the analyzer. It is annotation-driven and needs
+// no path scoping: only functions marked lint:hotpath are checked.
+func NewHotAlloc() *HotAlloc { return &HotAlloc{} }
+
+// Name implements Analyzer.
+func (a *HotAlloc) Name() string { return "hotalloc" }
+
+// hotFmtFuncs are the fmt functions that allocate their result.
+var hotFmtFuncs = map[string]bool{
+	"Sprint": true, "Sprintf": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// Check implements Analyzer.
+func (a *HotAlloc) Check(u *Universe, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			if !u.Suppressed(pkg, fn.Pos(), "lint:hotpath") {
+				return true
+			}
+			for _, loop := range innermostLoops(fn.Body) {
+				diags = append(diags, a.checkLoop(u, pkg, loop)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// innermostLoops collects the function's row loops: for/range
+// statements containing no nested loop (function literals are opaque —
+// they run on their own schedule, not per row of this loop).
+func innermostLoops(body *ast.BlockStmt) []ast.Node {
+	var loops []ast.Node
+	inspectShallow(body, func(n ast.Node) bool {
+		b := loopBody(n)
+		if b == nil {
+			return true
+		}
+		nested := false
+		inspectShallow(b, func(m ast.Node) bool {
+			if m != n && loopBody(m) != nil {
+				nested = true
+			}
+			return !nested
+		})
+		if !nested {
+			loops = append(loops, n)
+		}
+		return true
+	})
+	return loops
+}
+
+// checkLoop enforces the per-row allocation rules inside one row loop.
+func (a *HotAlloc) checkLoop(u *Universe, pkg *Package, loop ast.Node) []Diagnostic {
+	body := loopBody(loop)
+
+	// Spans of return statements: allocations inside them run at most
+	// once per call (the loop exits), so they are cold by construction.
+	var returns []ast.Node
+	inspectShallow(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, n)
+			return false
+		}
+		return true
+	})
+	cold := func(n ast.Node) bool {
+		for _, r := range returns {
+			if r.Pos() <= n.Pos() && n.End() <= r.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	var diags []Diagnostic
+	flag := func(n ast.Node, msg string) {
+		if cold(n) || u.Suppressed(pkg, n.Pos(), "lint:coldalloc") {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      u.Fset.Position(n.Pos()),
+			Analyzer: a.Name(),
+			Message:  msg + " in a lint:hotpath row loop; hoist it out of the loop, use a pooled buffer, or annotate // lint:coldalloc <why>",
+		})
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			flag(e, "composite literal allocates per row")
+			return false
+		case *ast.BinaryExpr:
+			if e.Op.String() == "+" {
+				if t := pkg.Info.Types[e].Type; t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						flag(e, "string concatenation allocates per row")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			diags = append(diags, a.checkCall(u, pkg, e, flag)...)
+		}
+		return true
+	})
+
+	// Interface boxing through assignment: storing a concrete
+	// non-pointer value into an interface-typed location.
+	inspectShallow(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			lt := pkg.Info.Types[lhs].Type
+			rt := pkg.Info.Types[st.Rhs[i]].Type
+			if boxes(lt, rt) {
+				flag(st.Rhs[i], fmt.Sprintf("assignment boxes %s into an interface", rt))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// checkCall enforces the call-shaped rules: make/append, per-row fmt
+// formatting, and interface boxing of arguments.
+func (a *HotAlloc) checkCall(u *Universe, pkg *Package, call *ast.CallExpr, flag func(ast.Node, string)) []Diagnostic {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call, "make allocates per row")
+			case "append":
+				flag(call, "append grows a buffer per row")
+			}
+			return nil
+		}
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && hotFmtFuncs[fn.Name()] {
+		flag(call, "fmt."+fn.Name()+" formats per row")
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pt, pkg.Info.Types[arg].Type) {
+			flag(arg, fmt.Sprintf("argument boxes %s into an interface", pkg.Info.Types[arg].Type))
+		}
+	}
+	return nil
+}
+
+// boxes reports whether storing a value of type from into a location
+// of type to converts a concrete non-pointer value to an interface —
+// the conversion that heap-allocates the value's copy. Pointers (and
+// existing interfaces) fit in the interface word without allocating.
+func boxes(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if !types.IsInterface(types.Unalias(to)) || types.IsInterface(types.Unalias(from)) {
+		return false
+	}
+	switch types.Unalias(from).Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Map, *types.Chan:
+		return false // single-word values: stored directly
+	case *types.Basic:
+		if b := types.Unalias(from).Underlying().(*types.Basic); b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}

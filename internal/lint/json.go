@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the stable machine-readable shape of one finding,
+// emitted by evalint -json for editor and CI integrations.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON encodes the diagnostics as an indented JSON array of
+// {file, line, col, analyzer, message} objects. An empty diagnostic
+// list encodes as [], never null, so consumers can range over the
+// result unconditionally.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSON pins the machine-readable format evalint -json emits;
+// editor and CI integrations parse it, so it must not drift.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: "internal/exec/exec.go", Line: 7, Column: 3},
+		Analyzer: "hotalloc",
+		Message:  "composite literal allocates per row",
+	}}
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "file": "internal/exec/exec.go",
+    "line": 7,
+    "col": 3,
+    "analyzer": "hotalloc",
+    "message": "composite literal allocates per row"
+  }
+]
+`
+	if buf.String() != want {
+		t.Errorf("WriteJSON = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestWriteJSONEmpty checks a clean run encodes as [], never null.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty diagnostics encode as %q, want []", got)
+	}
+}

@@ -25,6 +25,18 @@
 //	                       sanctioned spawn point in the serving layer,
 //	                       where bare go statements are otherwise
 //	                       forbidden.
+//	lint:wallclock <why>   (on or above a time.* / math/rand use)
+//	                       sanctions a deliberate wall-clock read in a
+//	                       deterministic package.
+//	lint:unordered <why>   (on or above a map range) asserts the loop's
+//	                       effect order cannot leak into observables.
+//	lint:hotpath <why>     (directly above a function) marks a row-loop
+//	                       function that must not heap-allocate per
+//	                       row.
+//	lint:coldalloc <why>   (on or above a statement in a hotpath row
+//	                       loop) exempts a deliberate cold allocation.
+//	lint:faultsite <why>   (on or above an injector call) sanctions a
+//	                       site name outside the faults.Sites registry.
 //
 // Methods whose name ends in "Locked" are exempt from the guarded-by
 // check by convention: their contract is that the caller holds the
@@ -159,6 +171,20 @@ func matchAny(specs []string, p string) bool {
 // internal/lint/testdata fire when targeted explicitly.
 func DefaultAnalyzers(modPath string) []Analyzer {
 	qp := func(rel string) string { return modPath + "/" + rel }
+	// The deterministic engine packages: every observable they produce
+	// must be a pure function of (query, seed, configuration), which is
+	// what the differential/chaos digest matrices verify dynamically
+	// and the walltime/mapiter analyzers prove statically.
+	deterministic := []string{
+		qp("internal/core/..."),
+		qp("internal/exec/..."),
+		qp("internal/storage/..."),
+		qp("internal/symbolic/..."),
+		qp("internal/faults/..."),
+		qp("internal/udf/..."),
+		qp("internal/optimizer/..."),
+		qp("internal/server/..."),
+	}
 	return []Analyzer{
 		&ExhaustiveSwitch{},
 		&GuardedBy{},
@@ -178,6 +204,10 @@ func DefaultAnalyzers(modPath string) []Analyzer {
 			qp("internal/server/..."),
 			qp("internal/lint/testdata/src/trackedgoroutine/..."),
 		),
+		NewWallTime(append([]string{qp("internal/lint/testdata/src/walltime/...")}, deterministic...)...),
+		NewMapIter(append([]string{qp("internal/lint/testdata/src/mapiter/...")}, deterministic...)...),
+		NewHotAlloc(),
+		&FaultSite{},
 	}
 }
 

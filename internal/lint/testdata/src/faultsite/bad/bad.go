@@ -1,0 +1,19 @@
+// Package bad seeds unregistered fault-site names for the faultsite
+// analyzer tests: each typo matches nothing at runtime and would
+// silently stop injecting.
+package bad
+
+import "eva/internal/faults"
+
+// Wire registers rules against misspelled sites and families.
+func Wire(inj *faults.Injector) {
+	inj.Rule("uddf:yolotiny", faults.Rule{Prob: 1}) // want "is not in the faults.Sites registry"
+	inj.Rule("veiw:write:*", faults.Rule{Prob: 1})  // want "is not in the faults.Sites registry"
+}
+
+// Probe checks misspelled sites at the injection points themselves.
+func Probe(inj *faults.Injector, model string) {
+	inj.CheckEval("uddf:"+model, 1, 1)  // want "does not open a registered family"
+	inj.Check("exec:deadlines")         // want "is not in the faults.Sites registry"
+	inj.CheckWrite("view:wrte:x", 0, 8) // want "is not in the faults.Sites registry"
+}

@@ -1,0 +1,31 @@
+// Package ok demonstrates the site-name forms the faultsite analyzer
+// accepts: registry constants, Site* constructors, registered
+// literals, family-prefix concatenations, dynamic values, and the
+// annotated escape for a deliberately unregistered family.
+package ok
+
+import "eva/internal/faults"
+
+// Wire registers rules through every accepted site-name form.
+func Wire(inj *faults.Injector, model string) {
+	inj.Rule(faults.SiteUDFAny, faults.Rule{Prob: 1})
+	inj.Rule(faults.SiteAny, faults.Rule{Prob: 1})
+	inj.Rule(faults.SiteUDF(model), faults.Rule{Prob: 1})
+	inj.Rule(faults.SiteViewWritePrefix+"udf_x*", faults.Rule{Prob: 1})
+	inj.Rule("udf:yolotiny", faults.Rule{Prob: 1})
+}
+
+// Probe checks registered sites and a dynamically built one (the
+// dynamic value was validated where it was constructed).
+func Probe(inj *faults.Injector, site string) {
+	inj.Check(faults.SiteDeadline)
+	inj.CheckEval(faults.SiteUDF("YOLOTiny"), 7, 1)
+	inj.Check(site)
+	inj.CheckWrite(faults.SiteViewWrite("udf_x"), 3, 16)
+}
+
+// Experimental exercises a fault family that is not registered yet;
+// the annotation records why the registry check is waived.
+func Experimental(inj *faults.Injector) {
+	inj.Check("gpu:oom") // lint:faultsite prototype accelerator fault family
+}

@@ -1,0 +1,55 @@
+// Package bad seeds per-row allocations inside lint:hotpath row loops
+// for the hotalloc analyzer tests.
+package bad
+
+import "fmt"
+
+// Row is one decoded record.
+type Row struct {
+	ID  int
+	Tag string
+}
+
+func sink(v any) { _ = v }
+
+// FillRows constructs a fresh composite value per row.
+// lint:hotpath the scan loop must reuse the batch's backing array
+func FillRows(rows []Row) {
+	for i := range rows {
+		rows[i] = Row{ID: i} // want "composite literal allocates per row"
+	}
+}
+
+// Grow sizes and grows buffers per row instead of per batch.
+// lint:hotpath the filter loop must use the pooled buffer
+func Grow(ids []int) [][]byte {
+	var out [][]byte
+	for range ids {
+		buf := make([]byte, 0, 8) // want "make allocates per row"
+		out = append(out, buf)    // want "append grows a buffer per row"
+	}
+	return out
+}
+
+// Format formats and concatenates strings per row.
+// lint:hotpath the project loop must not format per row
+func Format(ids []int, tags []string) string {
+	s := ""
+	for i, id := range ids {
+		s = s + tags[i]              // want "string concatenation allocates per row"
+		msg := fmt.Sprintf("%d", id) // want "fmt.Sprintf formats per row"
+		_ = msg
+	}
+	return s
+}
+
+// Box stores concrete values into interfaces per row.
+// lint:hotpath the apply loop must pass rows by pointer
+func Box(ids []int) {
+	var last any
+	for _, id := range ids {
+		sink(id)  // want "argument boxes int into an interface"
+		last = id // want "assignment boxes int into an interface"
+	}
+	_ = last
+}

@@ -1,0 +1,80 @@
+// Package ok demonstrates the patterns the hotalloc analyzer accepts
+// in lint:hotpath functions: batch-granular allocation outside the row
+// loop, error-path allocation inside returns, pointer-shaped interface
+// arguments, annotated cold branches, and outer batch loops.
+package ok
+
+import "fmt"
+
+// Row is one decoded record.
+type Row struct{ ID int }
+
+// Fill allocates once per batch, outside the row loop, and reuses the
+// backing array inside it.
+// lint:hotpath scan row loop writes into the preallocated batch
+func Fill(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i].ID = i
+	}
+	return rows
+}
+
+// Validate allocates only on the error path: a return exits the loop,
+// so the allocation runs at most once per call.
+// lint:hotpath validation loop allocates only on the error return
+func Validate(ids []int) error {
+	for _, id := range ids {
+		if id < 0 {
+			return fmt.Errorf("negative id %d", id)
+		}
+	}
+	return nil
+}
+
+// Emit passes rows by pointer: a pointer fits the interface word
+// without a heap copy.
+// lint:hotpath emit loop passes rows by pointer
+func Emit(rows []Row, out func(any)) {
+	for i := range rows {
+		out(&rows[i])
+	}
+}
+
+// Sample keeps a deliberate cold allocation on a rare branch.
+// lint:hotpath apply loop allocates only for the rare sampled row
+func Sample(ids []int) []int {
+	var kept []int
+	for _, id := range ids {
+		if id%1024 == 0 {
+			kept = append(kept, id) // lint:coldalloc one row in 1024 is sampled
+		}
+	}
+	return kept
+}
+
+// Nested gates only the innermost loop: the outer batch loop may
+// allocate per batch.
+// lint:hotpath only the inner row loop is allocation-free
+func Nested(batches [][]int) []int {
+	var sums []int
+	for _, batch := range batches {
+		sums = append(sums, 0)
+		s := 0
+		for _, v := range batch {
+			s += v
+		}
+		sums[len(sums)-1] = s
+	}
+	return sums
+}
+
+// Describe is not marked lint:hotpath, so its loop may allocate
+// freely.
+func Describe(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprint(id))
+	}
+	return out
+}

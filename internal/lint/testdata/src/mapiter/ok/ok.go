@@ -1,0 +1,61 @@
+// Package ok demonstrates the map iterations the mapiter analyzer
+// accepts: the collect-then-sort idiom, commutative accumulation,
+// keyed writes, loop-local builders, and the annotated escape.
+package ok
+
+import (
+	"sort"
+	"strings"
+)
+
+// SortedKeys is the canonical collect-then-sort idiom: the append
+// order is erased by the sort.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total accumulates commutatively; order cannot leak.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes into a map keyed by the element, which is
+// order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Describe builds each entry's string in a loop-local builder; only
+// the keyed result escapes.
+func Describe(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k := range m {
+		var sb strings.Builder
+		sb.WriteString(k)
+		sb.WriteString("!")
+		out[k] = sb.String()
+	}
+	return out
+}
+
+// Publish sends in iteration order deliberately: the consumer
+// treats messages as an unordered set.
+func Publish(m map[string]int, ch chan<- string) {
+	// lint:unordered the consumer deduplicates into a set
+	for k := range m {
+		ch <- k
+	}
+}

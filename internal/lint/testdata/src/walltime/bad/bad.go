@@ -1,0 +1,36 @@
+// Package bad seeds wall-clock and global-rand violations for the
+// walltime analyzer tests.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock directly, so results differ per run.
+func Elapsed(f func()) time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	f()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Jitter draws from the global math/rand source.
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(10)) * time.Millisecond // want "rand.Intn reads the global math/rand source"
+}
+
+// Backstop stores a timer source in a field.
+type Backstop struct {
+	after func(time.Duration) <-chan time.Time
+}
+
+// NewBackstop wires the real timer without sanction: bare references
+// are flagged like calls.
+func NewBackstop() *Backstop {
+	return &Backstop{after: time.After} // want "time.After reads the wall clock"
+}
+
+// Nap sleeps real time inside engine code.
+func Nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}

@@ -1,0 +1,28 @@
+// Package ok demonstrates the patterns the walltime analyzer accepts:
+// virtual-clock duration arithmetic, explicitly seeded generators,
+// methods on explicit timers, and the annotated sanctioned site.
+package ok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick advances a virtual clock by a modeled cost — pure Duration
+// arithmetic never touches the wall clock.
+func Tick(now time.Duration) time.Duration { return now + 5*time.Millisecond }
+
+// Draw uses an explicitly seeded generator, which replays identically
+// on every run.
+func Draw(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// Wall is the sanctioned diagnostic measurement: real elapsed time
+// that never reaches a deterministic observable.
+func Wall(f func()) time.Duration {
+	// lint:wallclock diagnostic-only measurement
+	start := time.Now()
+	f()
+	return time.Since(start) // lint:wallclock diagnostic-only measurement
+}

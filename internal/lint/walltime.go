@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// WallTime forbids reading the wall clock — and drawing from the
+// global math/rand source — in the deterministic engine packages.
+// Every observable there (results, reports, view logs, fault
+// schedules, the virtual clock) must be a pure function of the
+// (query, seed, configuration) triple, which is the property the
+// differential and chaos digest matrices check dynamically; a stray
+// time.Now or rand.Intn silently breaks byte-identical replay.
+//
+// Both calls and bare references (a time.After stored in a field)
+// are flagged. Lines annotated "// lint:wallclock <why>" are exempt —
+// the few sanctioned sites measure real wall time deliberately (the
+// EXPLAIN ANALYZE Wall stat, the optimizer's self-timing, the serving
+// layer's anti-wedge backstop) and never let it reach a deterministic
+// observable.
+type WallTime struct {
+	scopes []string
+}
+
+// NewWallTime builds the analyzer restricted to the given import-path
+// specs (see MatchPath).
+func NewWallTime(scopes ...string) *WallTime { return &WallTime{scopes: scopes} }
+
+// Name implements Analyzer.
+func (a *WallTime) Name() string { return "walltime" }
+
+// wallTimeFuncs are the package-level time functions that read or
+// depend on the wall clock. Pure arithmetic on time.Duration and
+// construction of explicit instants (time.Date, time.Unix) stay legal.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// globalRandExempt are the math/rand package-level functions that do
+// not touch the global source: they build explicitly seeded
+// generators, which are deterministic and therefore allowed.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+// Check implements Analyzer.
+func (a *WallTime) Check(u *Universe, pkg *Package) []Diagnostic {
+	if !matchAny(a.scopes, pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods (e.g. Timer.Stop,
+			// Rand.Intn on an explicit generator) are fine.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			var what string
+			switch fn.Pkg().Path() {
+			case "time":
+				if !wallTimeFuncs[fn.Name()] {
+					return true
+				}
+				what = "wall clock"
+			case "math/rand", "math/rand/v2":
+				if globalRandExempt[fn.Name()] {
+					return true
+				}
+				what = "global math/rand source"
+			default:
+				return true
+			}
+			if u.Suppressed(pkg, sel.Pos(), "lint:wallclock") {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      u.Fset.Position(sel.Pos()),
+				Analyzer: a.Name(),
+				Message: fmt.Sprintf("%s.%s reads the %s in a deterministic package; use the virtual clock or a seeded source, or annotate // lint:wallclock <why>",
+					fn.Pkg().Name(), fn.Name(), what),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -85,6 +85,10 @@ func NewController(cfg Config) *Controller {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0
 	}
+	// The anti-wedge backstop is a real-time guard against a stuck
+	// virtual clock; tests replace it via SetWedgeGuard and it never
+	// advances a deterministic observable.
+	// lint:wallclock anti-wedge backstop timer source
 	return &Controller{cfg: cfg, after: time.After}
 }
 

@@ -105,6 +105,14 @@ func primeImplicants(minterms []uint32, _ int) []implicant {
 		for p := range current {
 			list = append(list, p)
 		}
+		// Prime order feeds the cover search's tie-breaking; sort so the
+		// minimized DNF is identical on every run.
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].mask != list[j].mask {
+				return list[i].mask < list[j].mask
+			}
+			return list[i].value < list[j].value
+		})
 		for i := 0; i < len(list); i++ {
 			for j := i + 1; j < len(list); j++ {
 				a, b := list[i], list[j]

@@ -8,6 +8,7 @@ package udf
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"eva/internal/expr"
@@ -46,11 +47,7 @@ func NewSignature(table, name string, args []expr.Expr) Signature {
 	for c := range inputSet {
 		inputs = append(inputs, c)
 	}
-	for i := 1; i < len(inputs); i++ {
-		for j := i; j > 0 && inputs[j] < inputs[j-1]; j-- {
-			inputs[j], inputs[j-1] = inputs[j-1], inputs[j]
-		}
-	}
+	sort.Strings(inputs)
 	return Signature{Table: strings.ToLower(table), Name: strings.ToLower(name), Inputs: inputs}
 }
 

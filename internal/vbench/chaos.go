@@ -37,12 +37,12 @@ var chaosWorkload = []string{
 func chaosRegimeRules(inj *faults.Injector, regime string, seed uint64) {
 	switch regime {
 	case "transient":
-		inj.Rule(faults.SiteUDF("*"), faults.Rule{Kind: faults.Transient, Prob: 0.08})
-		inj.Rule("view:write:*", faults.Rule{Kind: faults.Transient, Prob: 0.05})
+		inj.Rule(faults.SiteUDFAny, faults.Rule{Kind: faults.Transient, Prob: 0.08})
+		inj.Rule(faults.SiteViewWriteAny, faults.Rule{Kind: faults.Transient, Prob: 0.05})
 	case "permanent":
 		inj.Rule(faults.SiteUDF(vision.YoloTiny), faults.Rule{Kind: faults.Permanent, Prob: 1})
 	case "crash":
-		inj.Rule("view:write:*", faults.Rule{
+		inj.Rule(faults.SiteViewWriteAny, faults.Rule{
 			Kind: faults.Crash, Prob: 0.2, ShortWrite: int(seed * 13 % 97),
 		})
 	case "deadline":
