@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench faults-stress differential chaos server-stress cover fuzz-smoke
+.PHONY: build test race lint check bench faults-stress differential chaos server-stress ingest-chaos cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,20 @@ server-stress:
 	$(GO) test -race -run 'TestMultiSessionChaosMatrix|TestSharedViewSingleflight|TestAdmissionOverloadTyped|TestAdmissionQueueTimeoutTyped|TestMemoryBudgetTyped|TestCloseDrainsInFlight|TestCrossSessionReuseDeterminism' .
 	$(GO) test -race ./internal/server/
 
+# ingest-chaos runs the streaming-ingestion kill-point matrix under
+# the race detector: every standing-query script under
+# testdata/standing × 18 seeded kill-points (a crash at the k-th live
+# append, checkpoint write or alert notification) × Workers ∈ {1,2,8};
+# every killed-and-resumed run must byte-match the uninterrupted
+# baseline's standing-query state (exactly-once replay from the
+# checkpoint), and each cell's fault schedule must be identical across
+# worker counts. Also runs the ingest unit suite (checkpoint log fuzz,
+# backpressure ordering, goroutine-leak) under the race detector.
+# See DESIGN.md "Streaming ingestion".
+ingest-chaos:
+	$(GO) test -race -run TestIngestChaos .
+	$(GO) test -race ./internal/ingest/
+
 # cover enforces a coverage floor on the packages at the heart of the
 # correctness argument: the executor (parallel merge, pipelining,
 # view maintenance), the symbolic algebra (Algorithm 1), and the
@@ -82,8 +96,9 @@ fuzz-smoke:
 # check is the full verification gate: formatting, vet, the evalint
 # suite, a clean build, the test suite under the race detector, the
 # serial-vs-parallel differential matrix, the chaos differential
-# matrix, the multi-session serving-layer stress, the coverage floor,
-# the fault-injection stress pass and the fuzz smokes.
+# matrix, the multi-session serving-layer stress, the streaming
+# ingest kill-point matrix, the coverage floor, the fault-injection
+# stress pass and the fuzz smokes.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -94,6 +109,7 @@ check:
 	$(MAKE) differential
 	$(MAKE) chaos
 	$(MAKE) server-stress
+	$(MAKE) ingest-chaos
 	$(MAKE) cover
 	$(MAKE) faults-stress
 	$(MAKE) fuzz-smoke

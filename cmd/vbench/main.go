@@ -24,6 +24,7 @@ func main() {
 	parallelJSON := flag.String("parallel-json", "", "run the parallel scan+UDF benchmark and write its JSON baseline to this path (e.g. BENCH_parallel.json)")
 	chaosJSON := flag.String("chaos-json", "", "run the chaos differential benchmark and write its JSON baseline to this path (e.g. BENCH_chaos.json)")
 	serverJSON := flag.String("server-json", "", "run the multi-session serving-layer load benchmark and write its JSON baseline to this path (e.g. BENCH_server.json)")
+	ingestJSON := flag.String("ingest-json", "", "run the streaming-ingestion benchmark and write its JSON baseline to this path (e.g. BENCH_ingest.json)")
 	flag.Parse()
 
 	if *list {
@@ -87,6 +88,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *serverJSON)
+		return
+	}
+
+	if *ingestJSON != "" {
+		res, err := vbench.RunIngestBench(vbench.DefaultIngestBench())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*ingestJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *ingestJSON)
 		return
 	}
 

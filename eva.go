@@ -217,6 +217,11 @@ type System struct {
 	// rec is the HashStash recycler graph, swapped on DropViews.
 	// guarded by recMu.
 	rec *baselines.Recycler
+
+	smu sync.Mutex
+	// streams tracks live ingest streams so Close drains them before
+	// tearing storage down. guarded by smu.
+	streams []*Stream
 }
 
 // Internal accessors keeping the method bodies readable.
@@ -271,7 +276,10 @@ func Open(cfg Config) (*System, error) {
 func (s *System) Close() error {
 	s.closeOnce.Do(func() {
 		s.markClosed()
-		err := s.store.Close()
+		err := s.closeStreams()
+		if serr := s.store.Close(); err == nil {
+			err = serr
+		}
 		if s.tempDir != "" {
 			if rerr := os.RemoveAll(s.tempDir); err == nil {
 				err = rerr

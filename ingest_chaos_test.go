@@ -1,0 +1,337 @@
+package eva
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"eva/internal/faults"
+)
+
+// The ingest chaos matrix is the streaming analogue of the query-path
+// matrix in chaos_test.go: every standing-query script under
+// testdata/standing runs through a kill-point sweep — a deterministic
+// crash injected at the k-th live append, checkpoint write or alert
+// notification — followed by a reopen of the same storage directory
+// and a resumed ingest of the remaining frames. The resumed run's
+// final standing-query state (checkpoint LSN, window counts, alert
+// set) must byte-match an uninterrupted baseline: increments replay
+// exactly-once from the durable checkpoint, never twice, never
+// skipped. Each (script, seed) cell also runs at Workers 1, 2 and 8,
+// and the full digest — final state plus the canonical injected-fault
+// event log — must be byte-identical across the three, because the
+// ingest pump serializes append → increment → checkpoint → notify
+// regardless of intra-query parallelism.
+
+// ingestChaosSeeds spans the kill-point grid: site = [append,
+// checkpoint, notify][seed%3], arrival ordinal = 1 + seed/3, so 18
+// seeds cover six ordinals per site family.
+const ingestChaosSeeds = 18
+
+// standingSpec is one named standing query from a script.
+type standingSpec struct {
+	name      string
+	threshold int64
+	sql       string
+}
+
+// standingScript is one parsed testdata/standing/*.sq file.
+type standingScript struct {
+	name    string
+	frames  int
+	window  int64
+	cadence int64
+	batch   int
+	dataset Dataset
+	queries []standingSpec
+}
+
+// loadStandingScripts parses every script under testdata/standing.
+// Directive lines ("-- key: value") set stream parameters; each
+// "-- query: <name> threshold=<k>" directive is followed by the
+// query's SQL, terminated by a semicolon.
+func loadStandingScripts(t *testing.T) []standingScript {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "standing", "*.sq"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no standing scripts: %v", err)
+	}
+	sort.Strings(paths)
+	var scripts []standingScript
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := standingScript{
+			name: strings.TrimSuffix(filepath.Base(path), ".sq"),
+		}
+		ds := Dataset{Width: 320, Height: 240}
+		var cur *standingSpec
+		var sql strings.Builder
+		flush := func() {
+			if cur != nil {
+				cur.sql = strings.TrimSuffix(strings.TrimSpace(sql.String()), ";")
+				sc.queries = append(sc.queries, *cur)
+				cur = nil
+				sql.Reset()
+			}
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(trimmed, "--"); ok {
+				key, val, found := strings.Cut(strings.TrimSpace(rest), ":")
+				if !found {
+					continue // prose comment
+				}
+				val = strings.TrimSpace(val)
+				switch strings.TrimSpace(key) {
+				case "frames":
+					sc.frames = atoiT(t, path, val)
+				case "window":
+					sc.window = int64(atoiT(t, path, val))
+				case "cadence":
+					sc.cadence = int64(atoiT(t, path, val))
+				case "batch":
+					sc.batch = atoiT(t, path, val)
+				case "density":
+					ds.Density = float64(atoiT(t, path, val))
+				case "dataset-seed":
+					ds.Seed = uint64(atoiT(t, path, val))
+				case "query":
+					flush()
+					name, thr, found := strings.Cut(val, " threshold=")
+					if !found {
+						t.Fatalf("%s: bad query directive %q", path, val)
+					}
+					cur = &standingSpec{
+						name:      strings.TrimSpace(name),
+						threshold: int64(atoiT(t, path, thr)),
+					}
+				}
+				continue
+			}
+			if cur != nil && trimmed != "" {
+				sql.WriteString(line)
+				sql.WriteString("\n")
+			}
+		}
+		flush()
+		if sc.frames == 0 || sc.window == 0 || sc.batch == 0 || len(sc.queries) == 0 {
+			t.Fatalf("%s: incomplete script: %+v", path, sc)
+		}
+		ds.Name = sc.name
+		ds.Frames = sc.frames
+		sc.dataset = ds
+		scripts = append(scripts, sc)
+	}
+	return scripts
+}
+
+func atoiT(t *testing.T, path, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("%s: bad number %q", path, s)
+	}
+	return n
+}
+
+// openScriptStream opens a System on dir and attaches the script's
+// stream and standing queries. DegradeHighWater stays 0 so cadence
+// degradation never perturbs the chaos cells' schedules.
+func openScriptStream(t *testing.T, sc standingScript, dir string, workers int) (*System, *Stream) {
+	t.Helper()
+	sys, err := Open(Config{Dir: dir, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := sys.OpenStream(StreamConfig{
+		Table:         "traffic",
+		Dataset:       sc.dataset,
+		CadenceFrames: sc.cadence,
+	})
+	if err != nil {
+		sys.Close()
+		t.Fatal(err)
+	}
+	for _, q := range sc.queries {
+		if _, err := stream.RegisterStandingQuery(q.name, q.sql, sc.window, q.threshold, nil); err != nil {
+			sys.Close()
+			t.Fatalf("register %s: %v", q.name, err)
+		}
+	}
+	return sys, stream
+}
+
+// ingestAll pushes the script's remaining frames in its batch size,
+// stopping early if the stream dies, then drains. It returns the
+// terminal error, if any.
+func ingestAll(stream *Stream, sc standingScript) error {
+	left := sc.frames - int(stream.Stats().Watermark)
+	for left > 0 {
+		n := sc.batch
+		if n > left {
+			n = left
+		}
+		if err := stream.Ingest(n); err != nil {
+			return err
+		}
+		left -= n
+	}
+	return stream.Drain()
+}
+
+// ingestStateDigest renders everything a resumed run must reproduce:
+// per standing query (sorted by name) the checkpoint LSN, the sorted
+// window counts and the alert set. Virtual-clock totals and delivery
+// counters are deliberately excluded — a killed-and-resumed run pays
+// for retries and re-executed deltas and may have delivered alerts
+// before dying, but must converge to the same analytical state.
+func ingestStateDigest(stream *Stream) string {
+	queries := stream.StandingQueries()
+	sort.Slice(queries, func(a, b int) bool { return queries[a].Name() < queries[b].Name() })
+	var out strings.Builder
+	for _, q := range queries {
+		fmt.Fprintf(&out, "query %s: lsn=%d\n", q.Name(), q.LastLSN())
+		wins := q.Windows()
+		keys := make([]int64, 0, len(wins))
+		for w := range wins { // lint:unordered sorted below
+			keys = append(keys, w)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, w := range keys {
+			fmt.Fprintf(&out, "  window %d: %d\n", w, wins[w])
+		}
+		for _, a := range q.Alerts() {
+			fmt.Fprintf(&out, "  alert %+v\n", a)
+		}
+	}
+	return out.String()
+}
+
+// faultEventsDigest renders the canonical injected-fault event log.
+func faultEventsDigest(inj *faults.Injector) string {
+	var out strings.Builder
+	for _, ev := range inj.EventsSorted() {
+		fmt.Fprintf(&out, "fault %s kind=%v call=%d id=%d\n", ev.Site, ev.Kind, ev.Call, ev.ID)
+	}
+	return out.String()
+}
+
+// killRule builds the cell's crash rule: seed%3 picks the site family
+// (append / checkpoint on the first query / notify on the first
+// query), 1+seed/3 the arrival ordinal, and the seed also varies the
+// torn-write length at write sites.
+func killRule(sc standingScript, seed int) (site string, rule faults.Rule) {
+	ord := 1 + seed/3
+	rule = faults.Rule{Kind: faults.Crash, At: []int{ord}, ShortWrite: seed}
+	switch seed % 3 {
+	case 0:
+		return faults.SiteIngestAppend("traffic"), rule
+	case 1:
+		return faults.SiteIngestCheckpoint(sc.queries[0].name), rule
+	default:
+		return faults.SiteIngestNotify(sc.queries[0].name), rule
+	}
+}
+
+// runIngestBaseline runs the script uninterrupted and returns the
+// final-state digest.
+func runIngestBaseline(t *testing.T, sc standingScript, workers int) string {
+	t.Helper()
+	sys, stream := openScriptStream(t, sc, t.TempDir(), workers)
+	defer sys.Close()
+	if err := ingestAll(stream, sc); err != nil {
+		t.Fatalf("baseline ingest: %v", err)
+	}
+	state := ingestStateDigest(stream)
+	if err := sys.Close(); err != nil {
+		t.Fatalf("baseline close: %v", err)
+	}
+	return state
+}
+
+// runIngestKillResume runs one chaos cell: ingest under the seed's
+// kill rule until the stream dies (or finishes, for ordinals past the
+// run's horizon), close, reopen the same directory, re-register and
+// resume. It returns the resumed final-state digest, the fault-event
+// digest of the killed phase, and the injection count.
+func runIngestKillResume(t *testing.T, sc standingScript, workers, seed int) (state, events string, injected int) {
+	t.Helper()
+	dir := t.TempDir()
+
+	sys, stream := openScriptStream(t, sc, dir, workers)
+	inj := faults.New(uint64(seed))
+	site, rule := killRule(sc, seed)
+	inj.Rule(site, rule)
+	stream.InjectFaults(inj)
+	if err := ingestAll(stream, sc); err != nil && !faults.IsCrash(err) {
+		t.Fatalf("killed phase: unexpected error: %v", err)
+	}
+	injected = inj.Injected()
+	killedSim := stream.SimulatedTime()
+	sys.Close() // a dead stream may surface its crash again; discard
+
+	sys2, stream2 := openScriptStream(t, sc, dir, workers)
+	defer sys2.Close()
+	if err := ingestAll(stream2, sc); err != nil {
+		t.Fatalf("resume ingest: %v", err)
+	}
+	resumedSim := stream2.SimulatedTime()
+	// The fault schedule and both phases' virtual-clock totals must be
+	// worker-invariant, even though the resumed run's clock legitimately
+	// differs from the uninterrupted baseline's (it re-executes the
+	// in-flight increment and pays retry backoff).
+	events = faultEventsDigest(inj) +
+		fmt.Sprintf("simtime killed: %d [%s]\nsimtime resumed: %d [%s]\n",
+			killedSim.Total(), killedSim, resumedSim.Total(), resumedSim)
+	state = ingestStateDigest(stream2)
+	if err := sys2.Close(); err != nil {
+		t.Fatalf("resume close: %v", err)
+	}
+	return state, events, injected
+}
+
+// TestIngestChaos is the kill-point × seed × Workers matrix. Every
+// resumed run must byte-match the uninterrupted baseline's final
+// state, every cell must agree across Workers on state and fault
+// schedule, and the matrix as a whole must actually inject faults.
+func TestIngestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is slow")
+	}
+	total := 0
+	for _, sc := range loadStandingScripts(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			baseline := runIngestBaseline(t, sc, 1)
+			for seed := 0; seed < ingestChaosSeeds; seed++ {
+				var refState, refEvents string
+				for i, workers := range []int{1, 2, 8} {
+					state, events, injected := runIngestKillResume(t, sc, workers, seed)
+					total += injected
+					if state != baseline {
+						t.Fatalf("seed=%d workers=%d: resumed state diverged from baseline\n-- resumed --\n%s-- baseline --\n%s",
+							seed, workers, state, baseline)
+					}
+					if i == 0 {
+						refState, refEvents = state, events
+						continue
+					}
+					if state != refState || events != refEvents {
+						t.Fatalf("seed=%d workers=%d: cell diverged from workers=1\n-- events --\n%s-- ref events --\n%s",
+							seed, workers, events, refEvents)
+					}
+				}
+			}
+		})
+	}
+	if !t.Failed() && total == 0 {
+		t.Fatal("chaos matrix never injected a fault")
+	}
+}

@@ -66,6 +66,21 @@ const (
 	// RetryMaxAttempts is the total number of evaluation attempts per
 	// invocation (1 initial + RetryMaxAttempts-1 retries).
 	RetryMaxAttempts = 4
+
+	// IngestFrameCost is the per-frame cost of durably appending one
+	// streaming frame to a live table (decode bookkeeping plus the
+	// watermark-log write amortized over the batch). Charged per frame
+	// rather than per batch so an interrupted-and-resumed ingestion
+	// charges exactly what an uninterrupted one does.
+	IngestFrameCost = 50 * time.Microsecond
+
+	// CheckpointWriteCost is the cost of one standing-query checkpoint
+	// record write (a small fsync-bounded append).
+	CheckpointWriteCost = 500 * time.Microsecond
+
+	// NotifyCost is the per-alert cost of delivering a standing-query
+	// notification to its subscriber.
+	NotifyCost = 10 * time.Microsecond
 )
 
 // RetryBackoff returns the backoff charged before retry attempt

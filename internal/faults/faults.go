@@ -457,6 +457,18 @@ const (
 	SiteViewWritePrefix = "view:write:"
 	// SiteDeadline is the query-deadline site checked by the executor.
 	SiteDeadline = "exec:deadline"
+	// SiteIngestAppendPrefix opens the live-append-site family of
+	// streaming video tables ("ingest:append:<table>"): the durable
+	// watermark-log write that makes ingested frames visible.
+	SiteIngestAppendPrefix = "ingest:append:"
+	// SiteIngestCheckpointPrefix opens the checkpoint-write-site family
+	// of standing queries ("ingest:checkpoint:<query>"): the durable
+	// record of the last LSN a standing query has fully processed.
+	SiteIngestCheckpointPrefix = "ingest:checkpoint:"
+	// SiteIngestNotifyPrefix opens the alert-delivery-site family of
+	// standing queries ("ingest:notify:<query>"): the (simulated)
+	// downstream notification of a completed alert window.
+	SiteIngestNotifyPrefix = "ingest:notify:"
 	// SiteAny is the wildcard rule pattern matching every site.
 	SiteAny = "*"
 	// SiteUDFAny is the rule pattern matching every model site.
@@ -464,6 +476,15 @@ const (
 	// SiteViewWriteAny is the rule pattern matching every view-write
 	// site.
 	SiteViewWriteAny = SiteViewWritePrefix + "*"
+	// SiteIngestAny is the rule pattern matching every ingest-path site
+	// (append, checkpoint and notify families share the "ingest:" stem).
+	SiteIngestAny = "ingest:*"
+	// SiteIngestAppendAny matches every live-append site.
+	SiteIngestAppendAny = SiteIngestAppendPrefix + "*"
+	// SiteIngestCheckpointAny matches every checkpoint-write site.
+	SiteIngestCheckpointAny = SiteIngestCheckpointPrefix + "*"
+	// SiteIngestNotifyAny matches every alert-delivery site.
+	SiteIngestNotifyAny = SiteIngestNotifyPrefix + "*"
 )
 
 // Sites is the central registry of fault-site families. Exact lists
@@ -473,8 +494,11 @@ var Sites = struct {
 	Exact    []string
 	Prefixes []string
 }{
-	Exact:    []string{SiteDeadline},
-	Prefixes: []string{SiteUDFPrefix, SiteViewWritePrefix},
+	Exact: []string{SiteDeadline},
+	Prefixes: []string{
+		SiteUDFPrefix, SiteViewWritePrefix,
+		SiteIngestAppendPrefix, SiteIngestCheckpointPrefix, SiteIngestNotifyPrefix,
+	},
 }
 
 // RegisteredSite reports whether a concrete site name or wildcard rule
@@ -517,3 +541,16 @@ func SiteUDF(model string) string { return SiteUDFPrefix + strings.ToLower(model
 
 // SiteViewWrite is the log-append site of a materialized view.
 func SiteViewWrite(view string) string { return SiteViewWritePrefix + strings.ToLower(view) }
+
+// SiteIngestAppend is the durable live-append site of a streaming
+// video table.
+func SiteIngestAppend(table string) string { return SiteIngestAppendPrefix + strings.ToLower(table) }
+
+// SiteIngestCheckpoint is the checkpoint-write site of a standing
+// query.
+func SiteIngestCheckpoint(query string) string {
+	return SiteIngestCheckpointPrefix + strings.ToLower(query)
+}
+
+// SiteIngestNotify is the alert-delivery site of a standing query.
+func SiteIngestNotify(query string) string { return SiteIngestNotifyPrefix + strings.ToLower(query) }

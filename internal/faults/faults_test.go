@@ -312,13 +312,21 @@ func TestRegisteredSite(t *testing.T) {
 	valid := []string{
 		SiteUDF("YoloTiny"),
 		SiteViewWrite("udf_x_frame"),
+		SiteIngestAppend("traffic"),
+		SiteIngestCheckpoint("redtrucks"),
+		SiteIngestNotify("redtrucks"),
 		SiteDeadline,
 		SiteAny,
 		SiteUDFAny,
 		SiteViewWriteAny,
-		"view:*",            // stem on the way to a registered family
-		"udf:yolo*",         // wildcard inside a family
-		"view:write:udf_x*", // wildcard inside a family
+		SiteIngestAny,
+		SiteIngestAppendAny,
+		SiteIngestCheckpointAny,
+		SiteIngestNotifyAny,
+		"view:*",             // stem on the way to a registered family
+		"udf:yolo*",          // wildcard inside a family
+		"view:write:udf_x*",  // wildcard inside a family
+		"ingest:append:tra*", // wildcard inside a family
 	}
 	for _, s := range valid {
 		if !RegisteredSite(s) {
@@ -333,6 +341,8 @@ func TestRegisteredSite(t *testing.T) {
 		"veiw:write:*",      // typo'd family wildcard
 		"exec:deadlines",    // near-miss of an exact site
 		"exec:deadline:sub", // exact sites are not families
+		"ingest:",           // family stem with no member
+		"ingets:append:t",   // typo'd ingest family
 	}
 	for _, s := range invalid {
 		if RegisteredSite(s) {
@@ -345,7 +355,10 @@ func TestRegisteredSite(t *testing.T) {
 // constants cannot drift apart.
 func TestSitesRegistryCoversConstants(t *testing.T) {
 	wantExact := []string{SiteDeadline}
-	wantPrefixes := []string{SiteUDFPrefix, SiteViewWritePrefix}
+	wantPrefixes := []string{
+		SiteUDFPrefix, SiteViewWritePrefix,
+		SiteIngestAppendPrefix, SiteIngestCheckpointPrefix, SiteIngestNotifyPrefix,
+	}
 	if fmt.Sprint(Sites.Exact) != fmt.Sprint(wantExact) {
 		t.Errorf("Sites.Exact = %v, want %v", Sites.Exact, wantExact)
 	}

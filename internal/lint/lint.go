@@ -184,6 +184,7 @@ func DefaultAnalyzers(modPath string) []Analyzer {
 		qp("internal/udf/..."),
 		qp("internal/optimizer/..."),
 		qp("internal/server/..."),
+		qp("internal/ingest/..."),
 	}
 	return []Analyzer{
 		&ExhaustiveSwitch{},
@@ -202,6 +203,7 @@ func DefaultAnalyzers(modPath string) []Analyzer {
 		),
 		NewTrackedGoroutine(
 			qp("internal/server/..."),
+			qp("internal/ingest/..."),
 			qp("internal/lint/testdata/src/trackedgoroutine/..."),
 		),
 		NewWallTime(append([]string{qp("internal/lint/testdata/src/walltime/...")}, deterministic...)...),

@@ -169,6 +169,11 @@ func (e *Engine) Close() error {
 			first = err
 		}
 	}
+	for _, vid := range e.videos {
+		if err := vid.closeLive(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
 }
 
@@ -182,6 +187,9 @@ func (e *Engine) DropViews() error {
 			return err
 		}
 		if err := os.Remove(v.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		if err := os.Remove(cleanPath(v.path)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 		delete(e.views, name)

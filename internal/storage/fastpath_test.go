@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"os"
+	"testing"
+
+	"eva/internal/faults"
+	"eva/internal/types"
+)
+
+// TestViewCleanSidecarFastPath: a clean close writes the sidecar, and
+// the next open accepts every record from the trusted prefix without
+// re-verifying checksums; appending after that reopen and reopening
+// again verifies only the tail records.
+func TestViewCleanSidecarFastPath(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := Open(dir)
+	v, err := e.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < crashAppends; i++ {
+		crashAppend(t, v, i)
+	}
+	golden := snapshotView(v)
+	if trusted, _ := v.OpenStats(); trusted != 0 {
+		t.Fatalf("first open trusted %d records, want 0", trusted)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen after a clean close: everything trusted, nothing verified.
+	e2, _ := Open(dir)
+	v2, err := e2.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotView(v2); got.rows != golden.rows || got.processed != golden.processed || string(got.data) != string(golden.data) {
+		t.Fatalf("fast-path reopen state mismatch: %+v vs %+v", got.rows, golden.rows)
+	}
+	trusted, verified := v2.OpenStats()
+	// crashAppends appends × 2 records each (rows + keys).
+	if trusted != 2*crashAppends || verified != 0 {
+		t.Fatalf("clean reopen: trusted=%d verified=%d, want %d/0", trusted, verified, 2*crashAppends)
+	}
+
+	// Append two more batches (the sidecar on disk is now stale-low)
+	// and close the view's file handle the hard way — no clean close —
+	// by reopening from a third engine: only the tail past the old
+	// sidecar must be verified.
+	crashAppend(t, v2, crashAppends)
+	crashAppend(t, v2, crashAppends+1)
+	e3, _ := Open(dir)
+	v3, err := e3.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted, verified = v3.OpenStats()
+	if trusted != 2*crashAppends || verified != 4 {
+		t.Fatalf("tail reopen: trusted=%d verified=%d, want %d/4", trusted, verified, 2*crashAppends)
+	}
+	if v3.Rows() != v2.Rows() {
+		t.Fatalf("tail reopen rows = %d, want %d", v3.Rows(), v2.Rows())
+	}
+	// That open refreshed the sidecar, so a fourth open trusts it all.
+	e4, _ := Open(dir)
+	v4, err := e4.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted, verified = v4.OpenStats()
+	if trusted != 2*crashAppends+4 || verified != 0 {
+		t.Fatalf("refreshed reopen: trusted=%d verified=%d, want %d/0", trusted, verified, 2*crashAppends+4)
+	}
+}
+
+// TestViewSidecarCrashTailVerified: after a simulated crash the dead
+// view writes no sidecar, but the sidecar from the *previous* clean
+// open still bounds recovery cost — reopening verifies only the bytes
+// past it, truncates the torn tail, and converges after re-append.
+func TestViewSidecarCrashTailVerified(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := Open(dir)
+	v, err := e.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < crashAppends; i++ {
+		crashAppend(t, v, i)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, _ := Open(dir)
+	inj := faults.New(1)
+	inj.Rule(faults.SiteViewWrite("det"), faults.Rule{Kind: faults.Crash, At: []int{1}, ShortWrite: 7})
+	e2.SetInjector(inj)
+	v2, err := e2.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Append(mkRows(100), nil); err == nil {
+		t.Fatal("crash append unexpectedly succeeded")
+	}
+	// The dead view must not advertise a clean prefix covering its
+	// torn tail: close the engine (dead views skip the sidecar write).
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e3, _ := Open(dir)
+	v3, err := e3.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.RecoveredBytes() == 0 {
+		t.Fatal("crash left no torn tail to recover")
+	}
+	trusted, verified := v3.OpenStats()
+	if trusted != 2*crashAppends {
+		t.Fatalf("post-crash reopen trusted %d records, want %d", trusted, 2*crashAppends)
+	}
+	if verified != 0 {
+		t.Fatalf("post-crash reopen verified %d records, want 0 (tail was all torn)", verified)
+	}
+	if n, err := v3.Append(mkRows(100), nil); err != nil || n != 1 {
+		t.Fatalf("re-append after recovery: n=%d err=%v", n, err)
+	}
+}
+
+// TestViewSidecarStaleFallsBack: a sidecar that no longer matches the
+// file (external truncation) is ignored and the open falls back to the
+// full verifying scan instead of trusting garbage.
+func TestViewSidecarStaleFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := Open(dir)
+	v, err := e.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < crashAppends; i++ {
+		crashAppend(t, v, i)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the log mid-record behind the sidecar's back.
+	data, err := os.ReadFile(v.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v.path, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, _ := Open(dir)
+	v2, err := e2.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatalf("stale sidecar must fall back, not fail: %v", err)
+	}
+	trusted, _ := v2.OpenStats()
+	if trusted != 0 {
+		t.Fatalf("stale sidecar still trusted %d records", trusted)
+	}
+	// The truncation cut into the final (processed-keys) record, so
+	// the fallback scan recovers one key fewer than the clean state.
+	if v2.ProcessedCount() >= v.ProcessedCount() {
+		t.Fatalf("truncated log kept %d keys, want fewer than %d", v2.ProcessedCount(), v.ProcessedCount())
+	}
+
+	// A corrupted record *inside* a structurally-matching sidecar
+	// prefix must also fall back (errTrustedCorrupt), not decode
+	// garbage: blow up the first record's payload-length field while
+	// keeping the file tail (which the sidecar checks) intact.
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	e3, _ := Open(dir2)
+	v3, err := e3.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAppend(t, v3, 0)
+	crashAppend(t, v3, 1)
+	if err := e3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(v3.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := len(v3.encodeHeader())
+	data[hdrLen+5] ^= 0xff // first record's payloadLen
+	if err := os.WriteFile(v3.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e4, _ := Open(dir2)
+	v4, err := e4.CreateView("det", viewSchema(), []string{"id"})
+	if err != nil {
+		t.Fatalf("corrupt trusted prefix must fall back, not fail: %v", err)
+	}
+	trusted, _ = v4.OpenStats()
+	if trusted != 0 {
+		t.Fatalf("corrupt prefix still trusted %d records", trusted)
+	}
+	if v4.Rows() != 0 || v4.RecoveredBytes() == 0 {
+		t.Fatalf("corrupt prefix: rows=%d recovered=%d, want 0 rows and a recovered tail", v4.Rows(), v4.RecoveredBytes())
+	}
+}
+
+// mkRows builds a one-row batch keyed by id.
+func mkRows(id int64) *types.Batch {
+	rows := types.NewBatch(viewSchema())
+	rows.MustAppendRow(types.NewInt(id), types.NewString("car"), types.NewString("x"))
+	return rows
+}

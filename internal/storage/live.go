@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"eva/internal/faults"
+	"eva/internal/vision"
+	"eva/internal/xxhash"
+)
+
+// Live video tables are the streaming ingest substrate: frames arrive
+// over (virtual) time and become visible to queries only once durable.
+// Because every frame's content is a deterministic function of the
+// dataset descriptor and the frame id, the only state that needs crash
+// safety is the *watermark* — the count of durably ingested frames —
+// kept in a checksummed append-only log next to the segments, with the
+// same torn-tail truncation discipline as the view log. A crash
+// mid-append leaves the watermark at the last durable record; the
+// producer re-sends from there and the table converges byte-identically
+// to an uninterrupted run.
+//
+// Watermark log format: header (magic, version), then fixed-size
+// records [watermark:8][xxhash64 over the watermark bytes:8].
+const (
+	wmMagic   = 0x45564157 // "EVAW"
+	wmVersion = 1
+
+	wmHeaderLen = 5
+	wmRecLen    = 16
+)
+
+// wmPath returns the watermark-log path inside a video directory.
+func wmPath(dir string) string { return filepath.Join(dir, "ingest.wal") }
+
+// OpenLiveVideo registers (or reopens) a streaming video table whose
+// frames arrive over time, up to the dataset's capacity. On reopen the
+// durable watermark is recovered from the checksummed log, truncating
+// a torn tail left by a crash mid-append.
+func (e *Engine) OpenLiveVideo(name string, ds vision.Dataset) (*Video, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := e.videos[key]; dup {
+		return nil, fmt.Errorf("storage: video %q already exists", name)
+	}
+	dir := filepath.Join(e.root, "videos", key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	v := &Video{
+		name: name, dir: dir, ds: ds, segFrames: defaultSegmentFrames,
+		live: true, site: faults.SiteIngestAppend(name),
+	}
+	path := wmPath(dir)
+	if data, err := os.ReadFile(path); err == nil {
+		valid, wm, err := replayWatermarks(data)
+		if err != nil {
+			return nil, fmt.Errorf("storage: live video %s: %w", name, err)
+		}
+		if int(wm) > ds.Frames {
+			return nil, fmt.Errorf("storage: live video %s: watermark %d past capacity %d", name, wm, ds.Frames)
+		}
+		if valid < len(data) {
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("storage: live video %s: truncate torn tail: %w", name, err)
+			}
+			v.wmRecovered = int64(len(data) - valid)
+		}
+		v.wm, v.wmFoot = wm, int64(valid)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	v.wmFile = f
+	if v.wmFoot == 0 {
+		hdr := binary.LittleEndian.AppendUint32(nil, wmMagic)
+		hdr = append(hdr, wmVersion)
+		if _, err := f.Write(hdr); err != nil {
+			return nil, err
+		}
+		v.wmFoot = int64(len(hdr))
+	}
+	e.videos[key] = v
+	return v, nil
+}
+
+// replayWatermarks returns the valid-prefix length of a watermark log
+// and the last durable watermark. Like the view log, an incomplete or
+// checksum-failing tail record marks a crash mid-append and stops
+// replay at the last good boundary; a decreasing watermark is a writer
+// bug and a hard error.
+func replayWatermarks(data []byte) (valid int, wm int64, err error) {
+	if len(data) < wmHeaderLen || binary.LittleEndian.Uint32(data) != wmMagic {
+		return 0, 0, fmt.Errorf("bad watermark-log header")
+	}
+	if data[4] != wmVersion {
+		return 0, 0, fmt.Errorf("unsupported watermark-log version %d", data[4])
+	}
+	off := wmHeaderLen
+	for off+wmRecLen <= len(data) {
+		next := int64(binary.LittleEndian.Uint64(data[off:]))
+		sum := binary.LittleEndian.Uint64(data[off+8:])
+		if xxhash.Sum64(data[off:off+8], 0) != sum {
+			return off, wm, nil
+		}
+		if next < wm {
+			return 0, 0, fmt.Errorf("watermark regressed %d -> %d", wm, next)
+		}
+		wm = next
+		off += wmRecLen
+	}
+	return off, wm, nil
+}
+
+// AppendFrames durably advances the watermark by n frames, making them
+// visible to scans. It consults the injector at the table's
+// ingest-append site, keyed by the pre-append watermark (the LSN of
+// the first new frame): transient and permanent faults roll the log
+// back (nothing applied, safe to retry); a simulated crash leaves the
+// torn tail on disk and kills the handle, like a view write. It
+// returns the new durable watermark.
+func (v *Video) AppendFrames(n int, inj *faults.Injector) (int64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.live {
+		return 0, fmt.Errorf("storage: video %s: not a live table", v.name)
+	}
+	if v.wmDead {
+		return v.wm, fmt.Errorf("storage: live video %s: unusable after simulated crash", v.name)
+	}
+	if v.wmFile == nil {
+		return v.wm, fmt.Errorf("storage: live video %s: closed", v.name)
+	}
+	if n <= 0 {
+		return v.wm, nil
+	}
+	newWM := v.wm + int64(n)
+	if newWM > int64(v.ds.Frames) {
+		return v.wm, fmt.Errorf("storage: live video %s: append past capacity (%d + %d > %d)", v.name, v.wm, n, v.ds.Frames)
+	}
+	rec := binary.LittleEndian.AppendUint64(make([]byte, 0, wmRecLen), uint64(newWM))
+	rec = binary.LittleEndian.AppendUint64(rec, xxhash.Sum64(rec, 0))
+
+	allow := len(rec)
+	var injected error
+	if short, ferr := inj.CheckWrite(v.site, uint64(v.wm), len(rec)); ferr != nil {
+		allow, injected = short, ferr
+	}
+	var wrote int
+	var werr error
+	if allow > 0 {
+		wrote, werr = v.wmFile.Write(rec[:allow])
+	}
+	if injected != nil && faults.IsCrash(injected) {
+		// Simulated kill mid-append: the torn tail stays for the next
+		// open to truncate, and this handle is dead.
+		v.wmDead = true
+		return v.wm, fmt.Errorf("storage: live video %s: %w", v.name, injected)
+	}
+	if injected == nil && werr == nil && wrote == len(rec) {
+		v.wmFoot += int64(len(rec))
+		v.wm = newWM
+		return v.wm, nil
+	}
+	if terr := v.wmFile.Truncate(v.wmFoot); terr != nil {
+		v.wmDead = true
+		return v.wm, fmt.Errorf("storage: live video %s: rollback after failed write: %v (write error: %v)", v.name, terr, firstErr(injected, werr))
+	}
+	return v.wm, fmt.Errorf("storage: live video %s: %w", v.name, firstErr(injected, werr, fmt.Errorf("short write (%d of %d bytes)", wrote, len(rec))))
+}
+
+// Live reports whether this is a streaming table.
+func (v *Video) Live() bool { return v.live }
+
+// Watermark returns the durable frame count of a live table.
+func (v *Video) Watermark() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.wm
+}
+
+// WatermarkRecovered returns the torn-tail bytes dropped from the
+// watermark log when the table was reopened (0 for a clean log).
+func (v *Video) WatermarkRecovered() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.wmRecovered
+}
+
+// Dead reports whether a simulated crash killed this live handle.
+func (v *Video) Dead() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.wmDead
+}
+
+// Capacity returns the dataset's total frame count — the ceiling the
+// watermark can reach.
+func (v *Video) Capacity() int64 { return int64(v.ds.Frames) }
+
+// closeLive closes the watermark log handle. Idempotent.
+func (v *Video) closeLive() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.wmFile == nil {
+		return nil
+	}
+	err := v.wmFile.Close()
+	v.wmFile = nil
+	return err
+}
+
+// CheckpointPath returns (creating the directory if needed) the
+// durable checkpoint file path for a standing query.
+func (e *Engine) CheckpointPath(name string) (string, error) {
+	dir := filepath.Join(e.root, "checkpoints")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, sanitize(strings.ToLower(name))+".ckpt"), nil
+}

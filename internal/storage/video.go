@@ -33,9 +33,20 @@ type Video struct {
 	dir       string
 	ds        vision.Dataset
 	segFrames int
+	// live marks a streaming table (see live.go): frames become
+	// visible as the durable watermark advances rather than all at
+	// once. site is its ingest-append fault site.
+	live bool
+	site string
 
 	mu    sync.Mutex
 	cache map[int]*types.Batch // guarded by mu; segment index -> decoded batch
+	// Streaming state (live tables only; see live.go).
+	wm          int64    // guarded by mu; durable watermark (frames)
+	wmFile      *os.File // guarded by mu; watermark-log handle
+	wmFoot      int64    // guarded by mu; watermark-log bytes
+	wmDead      bool     // guarded by mu; simulated crash hit this handle
+	wmRecovered int64    // guarded by mu; torn-tail bytes dropped at open
 }
 
 // Name returns the table name.
@@ -44,8 +55,17 @@ func (v *Video) Name() string { return v.name }
 // Dataset returns the backing dataset descriptor.
 func (v *Video) Dataset() vision.Dataset { return v.ds }
 
-// NumFrames returns the number of frames.
-func (v *Video) NumFrames() int64 { return int64(v.ds.Frames) }
+// NumFrames returns the number of visible frames: the full dataset for
+// a batch table, the durable watermark for a live one (scans never
+// read past what has been durably ingested).
+func (v *Video) NumFrames() int64 {
+	if !v.live {
+		return int64(v.ds.Frames)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.wm
+}
 
 // Schema returns the video table schema.
 func (v *Video) Schema() types.Schema { return videoSchema }

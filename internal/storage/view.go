@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -40,6 +41,11 @@ type View struct {
 	dead      bool                // guarded by mu; simulated crash hit this view
 	recovered int64               // guarded by mu; torn-tail bytes dropped at open
 	inj       *faults.Injector    // guarded by mu
+	// openTrusted / openVerified count the records the last open
+	// accepted from the clean-sidecar verified prefix (checksum check
+	// skipped) versus fully verified. guarded by mu.
+	openTrusted  int
+	openVerified int
 	// claims maps an encoded key to the in-flight claim that is
 	// evaluating it (per-(view, key) singleflight across sessions);
 	// the channel closes when the claim is released. guarded by mu.
@@ -69,6 +75,103 @@ const (
 	recSumLen    = 8
 )
 
+// Clean sidecar ("<view>.clean"): the verified-prefix fast path. A
+// clean close (and a completed open) records the byte length of the
+// log's verified prefix plus the file's trailing record checksum at
+// that length, all under a sidecar checksum. The next open trusts
+// records entirely inside that prefix — skipping the per-record xxhash
+// re-verification whose cost grows with log length, not tail length —
+// and fully verifies only the bytes past it. The sidecar binds itself
+// to the file contents via the tail checksum, so a stale or foreign
+// sidecar degrades to the full verifying scan rather than admitting
+// unchecked bytes; likewise any structural inconsistency inside the
+// trusted prefix falls back to a full scan (errTrustedCorrupt).
+const (
+	cleanMagic   = 0x4556414b // "EVAK"
+	cleanVersion = 1
+	// cleanLen is magic + version + trusted length + tail checksum +
+	// sidecar checksum.
+	cleanLen = 4 + 1 + 8 + 8 + 8
+)
+
+// errTrustedCorrupt signals that the sidecar-trusted prefix failed a
+// structural check; the caller re-replays with full verification.
+var errTrustedCorrupt = errors.New("storage: trusted prefix failed structural check")
+
+// cleanPath returns the sidecar path for a view log path.
+func cleanPath(path string) string { return path + ".clean" }
+
+// readCleanSidecar returns the trusted prefix length recorded by the
+// last clean close/open, or 0 when there is no usable sidecar. data is
+// the log contents; the sidecar must match its length and trailing
+// record checksum to be trusted.
+func readCleanSidecar(path string, data []byte) int64 {
+	sc, err := os.ReadFile(cleanPath(path))
+	if err != nil || len(sc) != cleanLen {
+		return 0
+	}
+	if binary.LittleEndian.Uint32(sc) != cleanMagic || sc[4] != cleanVersion {
+		return 0
+	}
+	if xxhash.Sum64(sc[:cleanLen-8], 0) != binary.LittleEndian.Uint64(sc[cleanLen-8:]) {
+		return 0
+	}
+	trusted := int64(binary.LittleEndian.Uint64(sc[5:]))
+	if trusted < recSumLen || trusted > int64(len(data)) {
+		return 0
+	}
+	if binary.LittleEndian.Uint64(data[trusted-recSumLen:]) != binary.LittleEndian.Uint64(sc[13:]) {
+		return 0
+	}
+	return trusted
+}
+
+// writeCleanSidecar atomically records the verified prefix (tmp +
+// rename, so a crash mid-write leaves either the old sidecar or none —
+// both safe: the fallback is the full verifying scan).
+func writeCleanSidecar(path string, data []byte, trusted int64) error {
+	if trusted < recSumLen || trusted > int64(len(data)) {
+		return nil
+	}
+	buf := binary.LittleEndian.AppendUint32(make([]byte, 0, cleanLen), cleanMagic)
+	buf = append(buf, cleanVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(trusted))
+	buf = append(buf, data[trusted-recSumLen:trusted]...)
+	buf = binary.LittleEndian.AppendUint64(buf, xxhash.Sum64(buf, 0))
+	tmp := cleanPath(path) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, cleanPath(path))
+}
+
+// writeCleanSidecarLocked refreshes the sidecar from the live file
+// handle's current footprint. Best-effort: a failure only costs the
+// next open a full scan. Callers hold mu.
+func (v *View) writeCleanSidecarLocked() {
+	if v.dead || v.footprint < recSumLen {
+		return
+	}
+	tail := make([]byte, recSumLen)
+	f, err := os.Open(v.path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(tail, v.footprint-recSumLen); err != nil {
+		return
+	}
+	buf := binary.LittleEndian.AppendUint32(make([]byte, 0, cleanLen), cleanMagic)
+	buf = append(buf, cleanVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.footprint))
+	buf = append(buf, tail...)
+	buf = binary.LittleEndian.AppendUint64(buf, xxhash.Sum64(buf, 0))
+	tmp := cleanPath(v.path) + ".tmp"
+	if os.WriteFile(tmp, buf, 0o644) == nil {
+		_ = os.Rename(tmp, cleanPath(v.path))
+	}
+}
+
 func openView(path, name string, schema types.Schema, keyCols []string, inj *faults.Injector) (*View, error) {
 	v := &View{
 		name:      name,
@@ -86,7 +189,15 @@ func openView(path, name string, schema types.Schema, keyCols []string, inj *fau
 		v.keyIdx = append(v.keyIdx, schema.IndexOf(kc))
 	}
 	if data, err := os.ReadFile(path); err == nil {
-		valid, err := v.replay(data)
+		trusted := readCleanSidecar(path, data)
+		valid, err := v.replay(data, trusted)
+		if errors.Is(err, errTrustedCorrupt) {
+			// The sidecar promised a clean prefix the file does not
+			// have (external truncation or corruption): fall back to
+			// the full verifying scan over a fresh in-memory state.
+			v.resetReplayState()
+			valid, err = v.replay(data, 0)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("storage: view %s: %w", name, err)
 		}
@@ -99,6 +210,11 @@ func openView(path, name string, schema types.Schema, keyCols []string, inj *fau
 			v.recovered = int64(len(data) - valid)
 		}
 		v.footprint = int64(valid)
+		// Refresh the sidecar to the recovered prefix so the *next*
+		// open's verification cost is bounded by its tail, not by the
+		// whole log. Best-effort: failure costs a full scan, not
+		// correctness.
+		_ = writeCleanSidecar(path, data, v.footprint)
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
@@ -144,14 +260,27 @@ func sealRecord(buf []byte, kind byte, count int, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint64(buf, sum)
 }
 
+// resetReplayState discards the in-memory index so a fallback replay
+// can rebuild it from scratch. It runs inside openView before the view
+// is published, so it may touch guarded fields without the lock.
+func (v *View) resetReplayState() {
+	v.batch = types.NewBatch(v.schema.Clone()) // lint:nolock pre-publish (openView)
+	v.rowsByKey = map[string][]int{}           // lint:nolock pre-publish (openView)
+	v.processed = map[string]struct{}{}        // lint:nolock pre-publish (openView)
+	v.openTrusted, v.openVerified = 0, 0       // lint:nolock pre-publish (openView)
+}
+
 // replay rebuilds in-memory state from the log. It returns the number
 // of bytes holding the recoverable prefix: header parse errors and
 // mid-file corruption are hard errors, while an incomplete or
 // checksum-failing *tail* record (the signature of a crash mid-append)
 // stops replay at the last good boundary so the caller can truncate.
-// It runs inside openView before the view is published, so it may
-// touch guarded fields without the lock.
-func (v *View) replay(data []byte) (int, error) {
+// Records that end at or before trusted (the sidecar's clean prefix)
+// skip the checksum re-verification; any failure inside that region is
+// reported as errTrustedCorrupt so the caller can fall back to a full
+// verifying scan. It runs inside openView before the view is
+// published, so it may touch guarded fields without the lock.
+func (v *View) replay(data []byte, trusted int64) (int, error) {
 	if len(data) < 6 || binary.LittleEndian.Uint32(data) != viewMagic {
 		return 0, fmt.Errorf("bad view header")
 	}
@@ -198,31 +327,64 @@ func (v *View) replay(data []byte) (int, error) {
 		off += klen // names validated via schema equality; skip
 	}
 
+	if trusted > 0 && trusted < int64(off) {
+		// The sidecar claims a prefix shorter than the header: stale
+		// beyond use.
+		return 0, errTrustedCorrupt
+	}
 	for off < len(data) {
 		// A record that does not fit or fails its checksum is a torn
 		// tail: recover the prefix. (Corruption strictly *inside* the
 		// file followed by valid records cannot be distinguished from
 		// a tear cheaply, and truncating there still yields a
 		// consistent prefix — idempotent re-STORE refills the rest.)
+		inTrusted := int64(off) < trusted
 		if off+recHeaderLen+recSumLen > len(data) {
+			if inTrusted {
+				return 0, errTrustedCorrupt
+			}
 			return off, nil
 		}
 		kind := data[off]
 		count := int(binary.LittleEndian.Uint32(data[off+1:]))
 		paylen := int(binary.LittleEndian.Uint32(data[off+5:]))
 		if paylen < 0 || count < 0 {
+			if inTrusted {
+				return 0, errTrustedCorrupt
+			}
 			return off, nil
 		}
 		end := off + recHeaderLen + paylen + recSumLen
 		if end < off || end > len(data) {
+			if inTrusted {
+				return 0, errTrustedCorrupt
+			}
 			return off, nil
 		}
-		sum := binary.LittleEndian.Uint64(data[end-recSumLen:])
-		if xxhash.Sum64(data[off:end-recSumLen], 0) != sum {
-			return off, nil
+		if inTrusted && int64(end) <= trusted {
+			// Verified-prefix fast path: the record lies entirely
+			// inside the sidecar's clean prefix, so the checksum was
+			// verified by the open that wrote the sidecar — skip the
+			// re-verification and only decode for the index.
+			v.openTrusted++ // lint:nolock pre-publish (openView)
+		} else {
+			sum := binary.LittleEndian.Uint64(data[end-recSumLen:])
+			if xxhash.Sum64(data[off:end-recSumLen], 0) != sum {
+				if inTrusted {
+					return 0, errTrustedCorrupt
+				}
+				return off, nil
+			}
+			v.openVerified++
 		}
 		payload := data[off+recHeaderLen : end-recSumLen]
 		if err := v.replayRecord(kind, count, payload); err != nil {
+			if inTrusted {
+				// Inside the trusted prefix an undecodable payload
+				// means the sidecar lied (the checksum was skipped):
+				// retry with full verification before giving up.
+				return 0, errTrustedCorrupt
+			}
 			// The checksum matched but the payload is undecodable:
 			// a writer bug or deliberate corruption, not a crash.
 			return 0, err
@@ -293,6 +455,16 @@ func (v *View) RecoveredBytes() int64 {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return v.recovered
+}
+
+// OpenStats reports how the last open rebuilt the index: trusted is
+// the number of records accepted from the clean-sidecar prefix without
+// checksum re-verification, verified the number whose checksums were
+// recomputed. trusted = 0 on a first open or after a fallback scan.
+func (v *View) OpenStats() (trusted, verified int) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.openTrusted, v.openVerified
 }
 
 // encodeKey canonically encodes a key tuple for index lookups.
@@ -581,5 +753,9 @@ func (v *View) close() error {
 	}
 	err := v.file.Close()
 	v.file = nil
+	// A clean close refreshes the sidecar so the next open can trust
+	// the whole log. A dead view skips it — a killed process writes
+	// nothing on the way down, and its torn tail must be re-verified.
+	v.writeCleanSidecarLocked()
 	return err
 }

@@ -47,7 +47,7 @@ func FuzzViewReplay(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		v1 := fuzzView()
-		valid, err := v1.replay(data)
+		valid, err := v1.replay(data, 0)
 		if err != nil {
 			return
 		}
@@ -58,7 +58,7 @@ func FuzzViewReplay(f *testing.F) {
 		// reconstruct the identical state — that is what reopening
 		// after truncation does.
 		v2 := fuzzView()
-		valid2, err := v2.replay(data[:valid])
+		valid2, err := v2.replay(data[:valid], 0)
 		if err != nil || valid2 != valid {
 			t.Fatalf("prefix replay diverged: valid=%d/%d err=%v", valid2, valid, err)
 		}

@@ -1,0 +1,144 @@
+package eva
+
+import (
+	"eva/internal/faults"
+	"eva/internal/ingest"
+	"eva/internal/simclock"
+)
+
+// Streaming ingestion types re-exported from internal/ingest.
+type (
+	// StandingQuery is a registered SELECT incrementally maintained
+	// over a stream from a durable checkpoint.
+	StandingQuery = ingest.StandingQuery
+	// StreamAlert is one standing-query window notification.
+	StreamAlert = ingest.Alert
+	// StreamStats snapshots a stream's ingest counters.
+	StreamStats = ingest.Stats
+)
+
+// Typed streaming errors; test with errors.Is.
+var (
+	// ErrFrameShed is returned by TryIngest when the ingest queue is
+	// full even after standing-query degradation.
+	ErrFrameShed = ingest.ErrFrameShed
+	// ErrStreamClosed rejects operations on a closed stream.
+	ErrStreamClosed = ingest.ErrStreamClosed
+	// ErrStreamDead rejects operations after a simulated crash killed
+	// the stream; reopen the System on the same Dir to recover.
+	ErrStreamDead = ingest.ErrStreamDead
+)
+
+// StreamConfig configures a live video table opened with OpenStream.
+type StreamConfig struct {
+	// Table is the live table name.
+	Table string
+	// Dataset bounds the stream: its Frames field is the capacity.
+	Dataset Dataset
+	// QueueDepth bounds the ingest queue in batches (default 16); a
+	// full queue blocks Ingest and sheds TryIngest with ErrFrameShed.
+	QueueDepth int
+	// CadenceFrames is the standing-query refresh cadence (default 8).
+	CadenceFrames int64
+	// DegradeHighWater is the backlog at which standing-query cadence
+	// degrades (doubles) before any frame is shed. 0 disables.
+	DegradeHighWater int
+	// MemoryBudget caps each delta execution's materialized bytes;
+	// 0 inherits Config.MemoryBudget.
+	MemoryBudget int64
+}
+
+// Stream is a live video table with crash-safe streaming ingestion:
+// producers append frames over (virtual) time, standing queries extend
+// their materialized views incrementally from durable checkpoints, and
+// a crash at any point resumes exactly-once after reopening the System
+// on the same directory. See DESIGN.md §12 for the failure model.
+type Stream struct {
+	st *ingest.Stream
+}
+
+// OpenStream opens (or, on an existing storage directory, recovers) a
+// live table and starts its ingestion pump. The Stream is owned by the
+// System: Close-ing the System drains and closes it.
+func (s *System) OpenStream(cfg StreamConfig) (*Stream, error) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	budget := cfg.MemoryBudget
+	if budget == 0 {
+		budget = s.cfg.MemoryBudget
+	}
+	st, err := ingest.OpenStream(ingest.Config{
+		Engine:           s.eng,
+		Table:            cfg.Table,
+		Dataset:          cfg.Dataset,
+		QueueDepth:       cfg.QueueDepth,
+		CadenceFrames:    cfg.CadenceFrames,
+		DegradeHighWater: cfg.DegradeHighWater,
+		MemoryBudget:     budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &Stream{st: st}
+	s.smu.Lock()
+	s.streams = append(s.streams, w)
+	s.smu.Unlock()
+	return w, nil
+}
+
+// Ingest enqueues n frames, blocking while the queue is full. It
+// returns once the batch is queued; durability failures surface on
+// later calls and on Drain.
+func (st *Stream) Ingest(n int) error { return st.st.Ingest(n) }
+
+// TryIngest enqueues n frames without blocking; a full queue sheds the
+// batch with ErrFrameShed.
+func (st *Stream) TryIngest(n int) error { return st.st.TryIngest(n) }
+
+// Drain waits until everything queued so far is durable and every
+// standing query has advanced to the watermark. It returns the
+// stream's terminal error, if any.
+func (st *Stream) Drain() error { return st.st.Drain() }
+
+// Close stops the stream, draining queued work first. Idempotent; the
+// System also closes its streams on System.Close.
+func (st *Stream) Close() error { return st.st.Close() }
+
+// RegisterStandingQuery attaches a standing SELECT: result rows are
+// counted per tumbling window of windowFrames frames, and the first
+// time a window reaches threshold an alert fires (onAlert may be nil).
+// A previous incarnation's checkpoint under the same name is recovered.
+func (st *Stream) RegisterStandingQuery(name, sql string, windowFrames, threshold int64, onAlert func(StreamAlert)) (*StandingQuery, error) {
+	return st.st.Register(name, sql, windowFrames, threshold, onAlert)
+}
+
+// InjectFaults installs the stream's deterministic fault injector
+// (appends, checkpoints, notifications, and standing-query deltas).
+func (st *Stream) InjectFaults(inj *faults.Injector) { st.st.SetInjector(inj) }
+
+// Stats snapshots the stream's ingest counters.
+func (st *Stream) Stats() StreamStats { return st.st.Stats() }
+
+// StandingQueries returns the registered standing queries.
+func (st *Stream) StandingQueries() []*StandingQuery { return st.st.Queries() }
+
+// SimulatedTime returns the ingest-side virtual time breakdown.
+func (st *Stream) SimulatedTime() simclock.Breakdown { return st.st.SimulatedTime() }
+
+// closeStreams drains and closes every stream opened on this System.
+func (s *System) closeStreams() error {
+	s.smu.Lock()
+	streams := s.streams
+	s.streams = nil
+	s.smu.Unlock()
+	var first error
+	for _, st := range streams {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
