@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench faults-stress differential chaos server-stress ingest-chaos cover fuzz-smoke
+.PHONY: build test race lint check bench faults-stress differential chaos server-stress ingest-chaos cover fuzz-smoke alloc pool-safety
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,11 @@ faults-stress:
 # differential runs the serial-vs-parallel harness under the race
 # detector: every testdata script at Workers ∈ {1,2,8} × BatchSize ∈
 # {1,7,256} must produce byte-identical results, reports and virtual
-# time. See DESIGN.md "Parallel execution".
+# time, and the pooled-batch lifecycle must byte-match unpooled
+# execution at every worker count. See DESIGN.md "Parallel execution"
+# and "Pooled batch lifecycle".
 differential:
-	$(GO) test -race -run TestDifferentialMatrix .
+	$(GO) test -race -run 'TestDifferentialMatrix|TestPoolingDifferential' .
 
 # chaos runs the fault-injected differential matrix under the race
 # detector: every testdata script × 24 seeded fault schedules (four
@@ -44,7 +46,7 @@ differential:
 # time — plus the FunCache parallel differential and fault smoke.
 # See DESIGN.md "Failure model & resilience".
 chaos:
-	$(GO) test -race -run 'TestChaosDifferentialMatrix|TestFunCacheParallelDifferential|TestFunCacheFaultSmoke' .
+	$(GO) test -race -run 'TestChaosDifferentialMatrix|TestFunCacheParallelDifferential|TestFunCacheFaultSmoke|TestChaosPoolingDifferential|TestFunCachePoolingDifferential' .
 
 # server-stress runs the serving layer's verification under the race
 # detector: the multi-session chaos matrix (every testdata script ×
@@ -87,18 +89,40 @@ cover:
 	done
 
 # fuzz-smoke gives the property-based targets a short budget: the
-# Algorithm 1 reducer against its truth-table oracle, and the fault
-# injector's site matcher against an independent reference.
+# Algorithm 1 reducer against its truth-table oracle, the fault
+# injector's site matcher against an independent reference, and the
+# batch-pool lifecycle against a non-pooled oracle (with poisoning on,
+# so use-after-Put aliasing trips immediately).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReduce -fuzztime=5s ./internal/symbolic/
 	$(GO) test -run=^$$ -fuzz=FuzzSiteMatch -fuzztime=5s ./internal/faults/
+	$(GO) test -run=^$$ -fuzz=FuzzBatchPoolLifecycle -fuzztime=5s ./internal/types/
+
+# alloc is the allocation-regression gate on the pooled hot path
+# (DESIGN.md "Pooled batch lifecycle"): the warm view-served
+# scan→filter→apply pipeline must stay at ~0 allocs/row (measured as a
+# marginal between two scan lengths), and the committed
+# BENCH_alloc.json baseline must satisfy the same gate with all
+# pooled/unpooled matrix digests identical. Runs without -race: the
+# race detector perturbs allocation counts (the test skips itself).
+alloc:
+	$(GO) test -run 'TestWarmPathAllocsPerRow|TestAllocBaselineCommitted' .
+
+# pool-safety runs the BatchPool's ownership test suite with poison
+# mode compiled in (-tags evadebug): typed double-Put panics, poisoned
+# use-after-Put reads, the 8-goroutine stress under the race detector,
+# and the whole engine suite with every recycled batch poisoned.
+pool-safety:
+	$(GO) test -race ./internal/types/
+	$(GO) test -tags evadebug ./internal/types/ ./internal/exec/ .
 
 # check is the full verification gate: formatting, vet, the evalint
 # suite, a clean build, the test suite under the race detector, the
 # serial-vs-parallel differential matrix, the chaos differential
 # matrix, the multi-session serving-layer stress, the streaming
 # ingest kill-point matrix, the coverage floor, the fault-injection
-# stress pass and the fuzz smokes.
+# stress pass, the allocation gate, the pool-safety suite and the
+# fuzz smokes.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -112,4 +136,6 @@ check:
 	$(MAKE) ingest-chaos
 	$(MAKE) cover
 	$(MAKE) faults-stress
+	$(MAKE) alloc
+	$(MAKE) pool-safety
 	$(MAKE) fuzz-smoke

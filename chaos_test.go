@@ -166,6 +166,62 @@ func TestFunCacheParallelDifferential(t *testing.T) {
 	}
 }
 
+// TestChaosPoolingDifferential extends the pooling invariance of
+// TestPoolingDifferential to fault-injected execution: under every
+// regime, the pooled runs at Workers {1,2,8} must byte-match the
+// unpooled serial run with the same seed — recycled batches cannot
+// perturb the injected schedule, retry charges, breaker trips or
+// error text. Runs a reduced seed set under -short.
+func TestChaosPoolingDifferential(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 4
+	}
+	injected := 0
+	for name, src := range chaosScripts(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				regime := chaosRegimes[seed%4]
+				t.Run(fmt.Sprintf("%s-seed%d", regime, seed), func(t *testing.T) {
+					baseline := runChaosDigest(t, src,
+						Config{Workers: 1, DisablePooling: true}, seed, regime)
+					injected += strings.Count(baseline, "\nfault ")
+					for _, w := range []int{1, 2, 8} {
+						got := runChaosDigest(t, src, Config{Workers: w}, seed, regime)
+						if got != baseline {
+							t.Errorf("pooled workers=%d digest diverged from unpooled serial\n%s",
+								w, digestDiff(baseline, got))
+						}
+					}
+				})
+			}
+		})
+	}
+	if injected == 0 {
+		t.Error("pooling chaos matrix injected no faults — schedules are vacuous")
+	}
+}
+
+// TestFunCachePoolingDifferential: pooled FunCache runs must
+// byte-match the unpooled serial FunCache baseline — the tuple cache
+// retains detector output batches, so this is the regime where a
+// recycled batch aliasing cached state would surface first.
+func TestFunCachePoolingDifferential(t *testing.T) {
+	for name, src := range chaosScripts(t) {
+		t.Run(name, func(t *testing.T) {
+			baseline := runChaosDigest(t, src,
+				Config{Mode: ModeFunCache, Workers: 1, DisablePooling: true}, 0, "")
+			for _, w := range []int{1, 2, 8} {
+				got := runChaosDigest(t, src, Config{Mode: ModeFunCache, Workers: w}, 0, "")
+				if got != baseline {
+					t.Errorf("pooled workers=%d FunCache digest diverged from unpooled serial\n%s",
+						w, digestDiff(baseline, got))
+				}
+			}
+		})
+	}
+}
+
 // TestFunCacheFaultSmoke: FunCache under fault injection at Workers=8
 // is exempt from the byte-identity matrix — breaker-commit attribution
 // among same-identity rows can legitimately vary with the singleflight

@@ -25,6 +25,7 @@ func main() {
 	chaosJSON := flag.String("chaos-json", "", "run the chaos differential benchmark and write its JSON baseline to this path (e.g. BENCH_chaos.json)")
 	serverJSON := flag.String("server-json", "", "run the multi-session serving-layer load benchmark and write its JSON baseline to this path (e.g. BENCH_server.json)")
 	ingestJSON := flag.String("ingest-json", "", "run the streaming-ingestion benchmark and write its JSON baseline to this path (e.g. BENCH_ingest.json)")
+	allocJSON := flag.String("alloc-json", "", "run the pooled-batch allocation benchmark and write its JSON baseline to this path (e.g. BENCH_alloc.json)")
 	flag.Parse()
 
 	if *list {
@@ -107,6 +108,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *ingestJSON)
+		return
+	}
+
+	if *allocJSON != "" {
+		res, err := vbench.RunAllocBench(vbench.DefaultAllocBench())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*allocJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *allocJSON)
 		return
 	}
 

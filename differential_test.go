@@ -30,8 +30,16 @@ var (
 // returns an exhaustive textual digest of everything a client could
 // observe.
 func runScriptDigest(t *testing.T, src string, workers, batchSize int) string {
+	return runScriptDigestCfg(t, src, Config{Workers: workers, BatchSize: batchSize})
+}
+
+// runScriptDigestCfg is runScriptDigest with full Config control (the
+// pooling differential flips DisablePooling; Dir is always overridden
+// with a fresh temp dir).
+func runScriptDigestCfg(t *testing.T, src string, cfg Config) string {
 	t.Helper()
-	sys, err := Open(Config{Dir: t.TempDir(), Workers: workers, BatchSize: batchSize})
+	cfg.Dir = t.TempDir()
+	sys, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,6 +137,42 @@ func TestDifferentialMatrix(t *testing.T) {
 						got := runScriptDigest(t, string(src), w, bs)
 						if got != baseline {
 							t.Errorf("digest diverged from serial baseline (batch %d)\n%s",
+								bs, digestDiff(baseline, got))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestPoolingDifferential asserts the pooled-batch lifecycle is
+// observationally invisible (DESIGN.md §13): for every script, the
+// unpooled serial run and the pooled runs at Workers {1,2,8} produce
+// byte-identical digests — rows, reports, view state, counters and
+// virtual-clock totals. Recycling may only change allocation traffic,
+// never anything a client can see.
+func TestPoolingDifferential(t *testing.T) {
+	scripts, err := filepath.Glob(filepath.Join("testdata", "scripts", "*.sql"))
+	if err != nil || len(scripts) == 0 {
+		t.Fatalf("no scripts found: %v", err)
+	}
+	for _, script := range scripts {
+		src, err := os.ReadFile(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(filepath.Base(script), func(t *testing.T) {
+			for _, bs := range []int{7, 256} {
+				baseline := runScriptDigestCfg(t, string(src),
+					Config{Workers: 1, BatchSize: bs, DisablePooling: true})
+				for _, w := range diffWorkers {
+					w := w
+					t.Run(fmt.Sprintf("pooled-workers%d-batch%d", w, bs), func(t *testing.T) {
+						got := runScriptDigestCfg(t, string(src),
+							Config{Workers: w, BatchSize: bs})
+						if got != baseline {
+							t.Errorf("pooled digest diverged from unpooled serial (batch %d)\n%s",
 								bs, digestDiff(baseline, got))
 						}
 					})

@@ -67,6 +67,9 @@ type (
 	ScalarFunc = udf.ScalarFunc
 	// Dataset describes a synthetic video dataset.
 	Dataset = vision.Dataset
+	// PoolStats is a snapshot of batch-pool traffic (hits, misses,
+	// puts); see System.PoolStats.
+	PoolStats = types.PoolStats
 )
 
 // SystemMode selects the reuse strategy — EVA or one of the paper's
@@ -149,6 +152,12 @@ type Config struct {
 	// staging early — and aborts with ErrMemoryBudget only when the
 	// floor still does not fit. 0 means unlimited.
 	MemoryBudget int64
+	// DisablePooling turns off the pooled columnar batch lifecycle
+	// (DESIGN.md §13): every operator allocates fresh batches instead
+	// of recycling them through the engine's BatchPool. Results are
+	// byte-identical either way; the knob exists for the differential
+	// suite and for allocation-profiling comparisons.
+	DisablePooling bool
 }
 
 // ErrDeadlineExceeded is returned (wrapped) by Exec when a query
@@ -252,6 +261,9 @@ func Open(cfg Config) (*System, error) {
 	eng.Runtime.SetFunCache(cfg.Mode == ModeFunCache)
 	eng.Deadline = cfg.QueryDeadline
 	eng.Workers = cfg.Workers
+	if !cfg.DisablePooling {
+		eng.Pool = types.NewBatchPool()
+	}
 	s := &System{
 		cfg: cfg, tempDir: temp,
 		eng:   eng,
@@ -636,6 +648,21 @@ var (
 	// NewBytes wraps a byte-slice datum.
 	NewBytes = types.NewBytes
 )
+
+// Recycle returns a Result's row batch to the engine's batch pool once
+// the caller is done reading it. Optional: callers that skip it leave
+// the batch to the garbage collector, which is always safe. After
+// Recycle the batch must not be read again.
+func (s *System) Recycle(b *Batch) { s.eng.Recycle(b) }
+
+// PoolStats snapshots the engine's batch-pool counters. Zero when
+// pooling is disabled.
+func (s *System) PoolStats() PoolStats {
+	if s.eng.Pool == nil {
+		return PoolStats{}
+	}
+	return s.eng.Pool.Stats()
+}
 
 // HitPercentage returns Table 2's metric for the work so far.
 func (s *System) HitPercentage() float64 { return s.rt().HitPercentage() }

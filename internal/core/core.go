@@ -53,6 +53,10 @@ type Engine struct {
 	// Workers is the parallel pipelined executor's worker count
 	// (0 or 1 = serial); see exec.Context.Workers.
 	Workers int
+	// Pool recycles columnar batches across queries (nil = every
+	// operator allocates fresh batches); see exec.Context.Pool and
+	// DESIGN.md §13.
+	Pool *types.BatchPool
 
 	batchSize int
 	faults    *faults.Injector
@@ -163,8 +167,8 @@ func (e *Engine) execute(stmt *parser.SelectStmt, mode optimizer.Mode, traced bo
 		ctx := &exec.Context{
 			Store: e.Store, Runtime: e.Runtime, Clock: clock,
 			BatchSize: e.batchSize, Faults: inj, Deadline: e.Deadline,
-			Workers: e.Workers,
-			Domain:  opts.Domain, Budget: opts.Budget, Sessions: opts.Sessions,
+			Workers: e.Workers, Pool: e.Pool,
+			Domain: opts.Domain, Budget: opts.Budget, Sessions: opts.Sessions,
 		}
 		var trace *exec.Trace
 		if traced {
@@ -184,6 +188,17 @@ func (e *Engine) execute(stmt *parser.SelectStmt, mode optimizer.Mode, traced bo
 			return nil, err
 		}
 		return &Outcome{Rows: rows, Plan: optRes.Plan, Report: optRes.Report, Trace: trace}, nil
+	}
+}
+
+// Recycle returns a result batch to the engine's pool once the caller
+// is done reading it. Safe to call with any batch: unpooled batches
+// (or a nil pool) are left for the garbage collector. After Recycle
+// the batch must not be touched — under the evadebug poison mode a
+// stale read trips immediately.
+func (e *Engine) Recycle(b *types.Batch) {
+	if e.Pool != nil && b != nil && b.Pooled() {
+		e.Pool.Put(b)
 	}
 }
 

@@ -66,6 +66,14 @@ type Context struct {
 	// faults from this Context's Faults injector rather than the
 	// engine-wide one.
 	Sessions bool
+	// Pool, when set, supplies the columnar batches the operators flow
+	// between each other. Operators obtain batches with getBatch and
+	// recycle their inputs with putBatch once the data has been copied
+	// onward, so a steady-state scan→filter→apply pipeline performs no
+	// per-row heap allocation (see DESIGN.md §13 for the ownership
+	// rules). nil runs every operator on freshly allocated batches —
+	// results are byte-identical either way.
+	Pool *types.BatchPool
 
 	traceDepth int
 	noPipeline int // build-time: >0 while under a Limit (no stages)
@@ -89,6 +97,26 @@ func (c *Context) dom() *udf.Domain {
 	return c.Runtime.DefaultDomain()
 }
 
+// getBatch returns an empty batch carrying schema, drawn from the
+// context's pool when one is installed.
+func (c *Context) getBatch(schema types.Schema) *types.Batch {
+	if c.Pool != nil {
+		return c.Pool.Get(schema)
+	}
+	return types.NewBatch(schema)
+}
+
+// putBatch recycles a pool-owned batch once its owner has copied the
+// data onward. Unpooled batches — view snapshots, cache-resident
+// detector outputs, batches from a pool-less Context — pass through as
+// a no-op, so operators can hand every consumed input here without
+// tracking provenance.
+func (c *Context) putBatch(b *types.Batch) {
+	if c.Pool != nil && b.Pooled() {
+		c.Pool.Put(b)
+	}
+}
+
 // Run executes the plan to completion and returns all result rows.
 func Run(ctx *Context, n plan.Node) (*types.Batch, error) {
 	ctx.armDeadline()
@@ -99,7 +127,10 @@ func Run(ctx *Context, n plan.Node) (*types.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := types.NewBatch(n.Schema())
+	// The collector is pooled too, but it is returned to the caller —
+	// ownership leaves the executor, and the engine offers an explicit
+	// Recycle for callers that fold the rows and discard them.
+	out := ctx.getBatch(n.Schema())
 	for {
 		b, err := it.next()
 		if err != nil {
@@ -111,6 +142,7 @@ func Run(ctx *Context, n plan.Node) (*types.Batch, error) {
 		if err := out.AppendBatch(b); err != nil {
 			return nil, fmt.Errorf("exec: collect results: %w", err)
 		}
+		ctx.putBatch(b)
 	}
 }
 
@@ -267,7 +299,10 @@ func newScanIter(ctx *Context, node *plan.Scan) (*scanIter, error) {
 }
 
 // next produces the next scan batch, degrading the batch width under
-// memory pressure. Allocation here is batch-granular: the row loop is
+// memory pressure. The batch comes from the context pool and its
+// ownership transfers downstream with the return; ScanInto copies rows
+// out of the segment cache, so recycling the batch later cannot touch
+// cached storage. Allocation here is batch-granular: the row loop is
 // gated so the pooled-batch refactor cannot regress to per-row heap
 // traffic.
 // lint:hotpath scan inner loop must not allocate per row
@@ -279,13 +314,14 @@ func (s *scanIter) next() (*types.Batch, error) {
 	if s.pos >= s.hi {
 		return nil, nil
 	}
+	b := s.ctx.getBatch(s.video.Schema())
 	for {
 		end := s.pos + int64(s.width)
 		if end > s.hi {
 			end = s.hi
 		}
-		b, err := s.video.Scan(s.pos, end)
-		if err != nil {
+		if err := s.video.ScanInto(b, s.pos, end); err != nil {
+			s.ctx.putBatch(b)
 			return nil, fmt.Errorf("exec: scan %s: %w", s.video.Name(), err)
 		}
 		sz := int64(b.EncodedSize())
@@ -299,8 +335,10 @@ func (s *scanIter) next() (*types.Batch, error) {
 					s.width = minScanBatch
 				}
 				s.ctx.Budget.NoteDegrade()
+				b.Reset()
 				continue
 			}
+			s.ctx.putBatch(b)
 			return nil, fmt.Errorf("exec: scan %s: %w", s.video.Name(),
 				s.ctx.Budget.Exceeded("scan batch", sz))
 		}
@@ -317,11 +355,19 @@ type filterIter struct {
 	ctx  *Context
 	in   iterator
 	node *plan.Filter
+
+	// Reused per-batch scratch: the keep bitmap and the row resolver
+	// live across batches so the steady-state loop stays off the heap.
+	keep []bool
+	res  rowResolver
 }
 
 // next evaluates the predicate over one batch. The per-row loop is
-// allocation-gated: the keep bitmap and resolver are built once per
-// batch, and each row only evaluates the predicate against them.
+// allocation-gated: the keep bitmap and resolver are reused across
+// batches, and each row only evaluates the predicate against them. A
+// pool-owned input is compacted in place and forwarded (ownership
+// passes through); an unpooled one is filtered into a fresh batch as
+// before.
 // lint:hotpath filter row loop must not allocate per row
 func (f *filterIter) next() (*types.Batch, error) {
 	for {
@@ -330,12 +376,15 @@ func (f *filterIter) next() (*types.Batch, error) {
 			return nil, err
 		}
 		f.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, b.Len())
-		keep := make([]bool, b.Len())
-		res := &rowResolver{ctx: f.ctx, schema: b.Schema(), batch: b}
+		if cap(f.keep) < b.Len() {
+			f.keep = make([]bool, b.Len())
+		}
+		keep := f.keep[:b.Len()]
+		f.res = rowResolver{ctx: f.ctx, schema: b.Schema(), batch: b}
 		any := false
 		for r := 0; r < b.Len(); r++ {
-			res.row = r
-			ok, err := expr.EvalBool(f.node.Pred, res)
+			f.res.row = r
+			ok, err := expr.EvalBool(f.node.Pred, &f.res)
 			if err != nil {
 				return nil, fmt.Errorf("exec: filter %q: %w", f.node.Pred, err)
 			}
@@ -343,7 +392,12 @@ func (f *filterIter) next() (*types.Batch, error) {
 			any = any || ok
 		}
 		if !any {
+			f.ctx.putBatch(b)
 			continue
+		}
+		if b.Pooled() {
+			b.FilterInPlace(keep)
+			return b, nil
 		}
 		return b.Filter(keep), nil
 	}
@@ -366,6 +420,11 @@ type applyIter struct {
 	// concurrent session already published are reused, not recomputed.
 	probeViews []*storage.View
 
+	// evalLower is node.Eval lower-cased once at build time, so the
+	// per-row demand/reuse/eval calls hand the runtime a string its
+	// ToLower fast path passes through without allocating.
+	evalLower string
+
 	rowSeq uint64 // serial per-query sequence assigning call identities
 
 	pendingRows *types.Batch    // buffered fresh results for the store view
@@ -374,10 +433,34 @@ type applyIter struct {
 
 	claimed []string // store-view keys this batch holds claims on
 	staged  int64    // budget bytes reserved for pending view rows
+
+	// Per-batch scratch, reused across batches so the probe, eval and
+	// assemble row loops stay allocation-free in steady state. The
+	// arena backs the owned key copies of unserved rows: it is sized
+	// once per batch, so the slices handed to decisions never move.
+	decisions []rowDecision
+	sinks     []udf.OutcomeSink
+	evalRows  []int
+	keyArena  []types.Datum
+	keyBuf    []types.Datum
+	ekBuf     []byte
+	rowBuf    []types.Datum
+	snaps     []*types.Batch // parallel to probeViews; reset per batch
+	scratch   []evalScratch  // per-worker eval scratch
+}
+
+// evalScratch is one worker's private evaluation state: the row
+// resolver handed to expression evaluation and the argument buffer.
+// runParallel pins each goroutine to one slot, so no locking is needed
+// and the steady-state eval loop allocates nothing.
+type evalScratch struct {
+	res  rowResolver
+	args []types.Datum
 }
 
 func newApplyIter(ctx *Context, node *plan.ReuseApply, in iterator) (*applyIter, error) {
-	a := &applyIter{ctx: ctx, in: in, node: node, seenPending: map[string]bool{}}
+	a := &applyIter{ctx: ctx, in: in, node: node, seenPending: map[string]bool{},
+		evalLower: strings.ToLower(node.Eval)}
 	inSchema := node.Input.Schema()
 	for _, kc := range node.KeyCols {
 		idx := inSchema.IndexOf(kc)
@@ -447,17 +530,21 @@ func (a *applyIter) viewSchema(in types.Schema) types.Schema {
 const viewFlushRows = 8192
 
 // rowDecision is the apply operator's per-row outcome. The serial
-// probe phase either serves the row from a view (capturing the rows to
-// emit) or queues it for UDF evaluation; the parallel eval phase fills
-// outs/err for queued rows; the serial assemble phase merges both in
-// row order.
+// probe phase either serves the row from a view — recording the
+// snapshot and row indexes to emit, or materialized rows on the fuzzy
+// and re-probe paths — or queues it for UDF evaluation; the parallel
+// eval phase fills out/outs/err for queued rows; the serial assemble
+// phase merges both in row order.
 type rowDecision struct {
 	served   bool
-	viewRows [][]types.Datum  // rows to emit for a served row
-	key      []types.Datum    // owned key copy (evaluated rows only)
-	id       uint64           // call identity for fault injection
-	sink     *udf.OutcomeSink // deferred breaker outcomes (evaluated rows)
-	outs     *types.Batch     // UDF output rows (evaluated rows only)
+	snap     *types.Batch    // serving view's snapshot (exact-probe path)
+	viewIdx  []int           // rows to emit, indexes into snap (read-only)
+	viewRows [][]types.Datum // materialized rows (fuzzy / re-probe paths)
+	key      []types.Datum   // owned key (evaluated rows; into keyArena)
+	id       uint64          // call identity for fault injection
+	sink     *udf.OutcomeSink
+	out      types.Datum  // scalar UDF result (evaluated rows)
+	outs     *types.Batch // table UDF output rows (evaluated rows)
 	err      error
 }
 
@@ -500,6 +587,9 @@ func (a *applyIter) next() (*types.Batch, error) {
 			return nil, err
 		}
 	}
+	// Everything the output, the pending view rows and the claims need
+	// has been copied out of the input batch; recycle it.
+	a.ctx.putBatch(b)
 	return out, nil
 }
 
@@ -619,51 +709,64 @@ func (a *applyIter) chargeStaged() error {
 
 // probePhase runs the reuse arm serially in row order: demand
 // accounting, the view probes, and the fuzzy fallback. Rows no view
-// can serve come back with an owned key copy, queued for evaluation.
+// can serve come back with an owned key copy (backed by the per-batch
+// arena), queued for evaluation. All scratch state — decisions, sinks,
+// key arena, encoded-key buffer, snapshots — is reused across batches,
+// so the steady-state row loop performs no heap allocation.
+// lint:hotpath apply probe loop must not allocate per row
 func (a *applyIter) probePhase(b *types.Batch) []rowDecision {
-	decisions := make([]rowDecision, b.Len())
-	key := make([]types.Datum, len(a.keyIdx))
+	if cap(a.decisions) < b.Len() {
+		a.decisions = make([]rowDecision, b.Len())
+		a.sinks = make([]udf.OutcomeSink, b.Len())
+	}
+	decisions := a.decisions[:b.Len()]
+	sinks := a.sinks[:b.Len()]
+	for r := range decisions {
+		decisions[r] = rowDecision{}
+	}
+	if cap(a.keyBuf) < len(a.keyIdx) {
+		a.keyBuf = make([]types.Datum, len(a.keyIdx))
+	}
+	key := a.keyBuf[:len(a.keyIdx)]
+	// The arena is sized for the whole batch up front so the key
+	// slices handed to decisions never move when later rows append.
+	if need := b.Len() * len(a.keyIdx); cap(a.keyArena) < need {
+		a.keyArena = make([]types.Datum, 0, need)
+	}
+	a.keyArena = a.keyArena[:0]
+	if len(a.snaps) < len(a.probeViews) {
+		a.snaps = make([]*types.Batch, len(a.probeViews))
+	}
+	for i := range a.snaps {
+		a.snaps[i] = nil
+	}
 	readCost := costs.TableViewReadCost
 	if !a.node.TableUDF {
 		readCost = costs.ScalarViewReadCost
-	}
-	// Per-batch view snapshots: row indexes from RowsForKey stay valid
-	// because views are append-only.
-	snaps := map[*storage.View]*types.Batch{}
-	snapshot := func(v *storage.View) *types.Batch {
-		s, ok := snaps[v]
-		if !ok {
-			s = v.Scan()
-			snaps[v] = s
-		}
-		return s
 	}
 
 	for r := 0; r < b.Len(); r++ {
 		for i, idx := range a.keyIdx {
 			key[i] = b.At(r, idx)
 		}
-		ek := storage.EncodeKey(key)
-		a.ctx.Runtime.RecordDemand(a.node.Eval, ek)
+		a.ekBuf = storage.AppendKey(a.ekBuf[:0], key)
+		a.ctx.Runtime.RecordDemandKey(a.evalLower, a.ekBuf)
 		a.ctx.Clock.Charge(simclock.CatApply, costs.ProbeCost)
 
 		d := &decisions[r]
-		for _, view := range a.probeViews {
-			if !view.HasKey(key) {
+		for vi, view := range a.probeViews {
+			if !view.HasKeyBytes(a.ekBuf) {
 				continue
 			}
-			a.ctx.Runtime.RecordReuse(a.node.Eval)
+			a.ctx.Runtime.RecordReuse(a.evalLower)
 			a.ctx.Clock.Charge(simclock.CatReadView, readCost)
-			idxs := view.RowsForKey(key)
-			vb := snapshot(view)
-			nKey := len(a.node.KeyCols)
-			for _, vi := range idxs {
-				row := b.Row(r)
-				for c := nKey; c < len(view.Schema()); c++ {
-					row = append(row, vb.At(vi, c))
-				}
-				d.viewRows = append(d.viewRows, row)
+			// Per-batch view snapshots: row indexes from RowsForKeyBytes
+			// stay valid because views are append-only.
+			if a.snaps[vi] == nil {
+				a.snaps[vi] = view.Scan()
 			}
+			d.snap = a.snaps[vi]
+			d.viewIdx = view.RowsForKeyBytes(a.ekBuf)
 			d.served = true
 			break
 		}
@@ -674,14 +777,17 @@ func (a *applyIter) probePhase(b *types.Batch) []rowDecision {
 			}
 		}
 		if !d.served {
-			d.key = append([]types.Datum(nil), key...)
+			start := len(a.keyArena)
+			a.keyArena = append(a.keyArena, key...)
+			d.key = a.keyArena[start:len(a.keyArena):len(a.keyArena)]
 			// Call identities are assigned here, at a serial point in
 			// input-row order, so the injected fault schedule is a
 			// function of the row's position in the serial plan — not
 			// of which worker reaches it first.
 			d.id = a.rowSeq
 			a.rowSeq++
-			d.sink = &udf.OutcomeSink{}
+			sinks[r].Reset()
+			d.sink = &sinks[r]
 		}
 	}
 	return decisions
@@ -694,57 +800,70 @@ func (a *applyIter) probePhase(b *types.Batch) []rowDecision {
 // captured here at a serial point, so every row sees the same health
 // decisions the serial engine's batch start would.
 func (a *applyIter) evalPhase(b *types.Batch, decisions []rowDecision) {
-	var evalRows []int
+	a.evalRows = a.evalRows[:0]
 	for r := range decisions {
 		if !decisions[r].served {
-			evalRows = append(evalRows, r)
+			a.evalRows = append(a.evalRows, r)
 		}
 	}
-	if len(evalRows) == 0 {
+	if len(a.evalRows) == 0 {
 		return
 	}
+	workers := a.ctx.workers()
+	if cap(a.scratch) < workers {
+		a.scratch = make([]evalScratch, workers)
+	}
+	scratch := a.scratch[:workers]
+	evalRows := a.evalRows
 	hs := a.ctx.dom().HealthSnapshot()
-	runParallel(a.ctx.workers(), len(evalRows), func(i int) {
+	runParallel(workers, len(evalRows), func(w, i int) {
 		r := evalRows[i]
-		d := &decisions[r]
-		d.outs, d.err = a.evalRow(b, r, d, hs)
+		a.evalRow(b, r, &decisions[r], hs, &scratch[w])
 	})
 }
 
-// evalRow evaluates the UDF for one input row, returning the output
-// rows in a.node.Out's schema. Called concurrently for distinct rows.
-// Its argument loop is allocation-gated: args is sized once per row
-// before the loop, and argument evaluation must not heap-allocate per
-// argument.
+// evalRow evaluates the UDF for one input row, writing the result (a
+// scalar datum, or a batch of detector rows in a.node.Out's schema)
+// into the decision. Called concurrently for distinct rows; sc is the
+// calling worker's private scratch, so the argument loop reuses the
+// resolver and the argument buffer instead of allocating per row.
 // lint:hotpath apply argument loop must not allocate per argument
-func (a *applyIter) evalRow(b *types.Batch, r int, d *rowDecision, hs *udf.HealthSnapshot) (*types.Batch, error) {
-	res := &rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b, row: r,
+func (a *applyIter) evalRow(b *types.Batch, r int, d *rowDecision, hs *udf.HealthSnapshot, sc *evalScratch) {
+	sc.res = rowResolver{ctx: a.ctx, schema: b.Schema(), batch: b, row: r,
 		id: d.id, sink: d.sink, hs: hs}
-	args := make([]types.Datum, len(a.node.Args))
+	if cap(sc.args) < len(a.node.Args) {
+		sc.args = make([]types.Datum, len(a.node.Args))
+	}
+	args := sc.args[:len(a.node.Args)]
 	for i, argE := range a.node.Args {
-		v, err := expr.Eval(argE, res)
+		v, err := expr.Eval(argE, &sc.res)
 		if err != nil {
-			return nil, fmt.Errorf("exec: apply arg %q: %w", argE, err)
+			d.err = fmt.Errorf("exec: apply arg %q: %w", argE, err)
+			return
 		}
 		args[i] = v
 	}
 	if a.node.TableUDF {
 		if len(args) != 1 || args[0].Kind() != types.KindBytes {
-			return nil, fmt.Errorf("exec: table UDF %s expects a frame argument", a.node.Eval)
+			d.err = fmt.Errorf("exec: table UDF %s expects a frame argument", a.node.Eval)
+			return
 		}
-		rows, err := a.ctx.dom().EvalDetectorAt(a.node.Eval, args[0].Bytes(), d.id, hs, d.sink)
+		// Detector outputs may be shared with the FunCache (the cache
+		// stores the same *Batch), so they are never pooled or recycled.
+		outs, err := a.ctx.dom().EvalDetectorAt(a.evalLower, args[0].Bytes(), d.id, hs, d.sink)
 		if err != nil {
-			return nil, fmt.Errorf("exec: detector %s: %w", a.node.Eval, err)
+			d.err = fmt.Errorf("exec: detector %s: %w", a.node.Eval, err)
+			return
 		}
-		return rows, nil
+		d.outs = outs
+		return
 	}
-	v, err := a.ctx.dom().EvalScalarAt(a.node.Eval, args, d.id, hs, d.sink)
+	v, err := a.ctx.dom().EvalScalarAt(a.evalLower, args, d.id, hs, d.sink)
 	if err != nil {
-		return nil, fmt.Errorf("exec: udf %s: %w", a.node.Eval, err)
+		d.err = fmt.Errorf("exec: udf %s: %w", a.node.Eval, err)
+		return
 	}
-	single := types.NewBatch(a.node.Out)
-	single.MustAppendRow(v)
-	return single, nil
+	d.out = v
 }
 
 // assemblePhase merges served and evaluated rows back into one output
@@ -762,52 +881,90 @@ func (a *applyIter) assemblePhase(b *types.Batch, decisions []rowDecision) (*typ
 	for r := range decisions {
 		a.ctx.dom().CommitOutcomes(decisions[r].sink)
 	}
-	out := types.NewBatchCapacity(a.node.Schema(), b.Len())
+	out := a.ctx.getBatch(a.node.Schema())
+	nKey := len(a.node.KeyCols)
 	for r := range decisions {
 		d := &decisions[r]
 		if d.served {
-			for _, row := range d.viewRows {
-				out.MustAppendRow(row...)
+			if d.snap != nil {
+				// Exact-probe path: emit input row + the view's output
+				// columns through the reused row buffer.
+				vw := len(d.snap.Schema())
+				for _, vi := range d.viewIdx {
+					a.rowBuf = b.AppendRowTo(a.rowBuf[:0], r)
+					for c := nKey; c < vw; c++ {
+						a.rowBuf = append(a.rowBuf, d.snap.At(vi, c))
+					}
+					out.MustAppendRow(a.rowBuf...)
+				}
+			} else {
+				for _, row := range d.viewRows {
+					out.MustAppendRow(row...)
+				}
 			}
 			continue
 		}
 		if d.err != nil {
+			a.ctx.putBatch(out)
 			return nil, d.err
 		}
-		for dr := 0; dr < d.outs.Len(); dr++ {
-			row := append(b.Row(r), d.outs.Row(dr)...)
-			out.MustAppendRow(row...)
+		if a.node.TableUDF {
+			for dr := 0; dr < d.outs.Len(); dr++ {
+				a.rowBuf = b.AppendRowTo(a.rowBuf[:0], r)
+				a.rowBuf = d.outs.AppendRowTo(a.rowBuf, dr)
+				out.MustAppendRow(a.rowBuf...)
+			}
+		} else {
+			a.rowBuf = b.AppendRowTo(a.rowBuf[:0], r)
+			a.rowBuf = append(a.rowBuf, d.out)
+			out.MustAppendRow(a.rowBuf...)
 		}
-		if err := a.buffer(d.key, d.outs); err != nil {
+		if err := a.buffer(d); err != nil {
+			a.ctx.putBatch(out)
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// buffer queues freshly computed results for the store view.
-func (a *applyIter) buffer(key []types.Datum, outs *types.Batch) error {
+// buffer queues a freshly computed result for the store view. The key
+// and outputs are copied into the pending batch, so the decision's
+// arena-backed key and the input batch may be recycled afterwards.
+// lint:hotpath view staging must not allocate per already-seen key
+func (a *applyIter) buffer(d *rowDecision) error {
 	if a.store == nil {
 		return nil
 	}
-	ek := storage.EncodeKey(key)
-	if a.seenPending[ek] {
+	a.ekBuf = storage.AppendKey(a.ekBuf[:0], d.key)
+	if a.seenPending[string(a.ekBuf)] {
 		return nil
 	}
-	a.seenPending[ek] = true
-	keyCopy := append([]types.Datum(nil), key...)
-	if outs.Len() == 0 {
-		a.pendingKeys = append(a.pendingKeys, keyCopy)
-	} else {
-		if a.pendingRows == nil {
-			a.pendingRows = types.NewBatch(a.store.Schema())
-		}
-		for r := 0; r < outs.Len(); r++ {
-			row := append(append([]types.Datum(nil), keyCopy...), outs.Row(r)...)
-			if err := a.pendingRows.AppendRow(row...); err != nil {
+	a.seenPending[string(a.ekBuf)] = true
+	if a.node.TableUDF && d.outs.Len() == 0 {
+		a.pendingKeys = append(a.pendingKeys, append([]types.Datum(nil), d.key...))
+		return nil
+	}
+	if a.pendingRows == nil {
+		a.pendingRows = a.ctx.getBatch(a.store.Schema())
+	}
+	if a.node.TableUDF {
+		// The key prefix is identical for every detector row, so it is
+		// copied into the row buffer once; the loop rewinds to the
+		// prefix and appends only the detector columns.
+		a.rowBuf = append(a.rowBuf[:0], d.key...)
+		nKey := len(d.key)
+		for r := 0; r < d.outs.Len(); r++ {
+			a.rowBuf = d.outs.AppendRowTo(a.rowBuf[:nKey], r)
+			if err := a.pendingRows.AppendRow(a.rowBuf...); err != nil {
 				return fmt.Errorf("exec: buffer view rows: %w", err)
 			}
 		}
+		return nil
+	}
+	a.rowBuf = append(a.rowBuf[:0], d.key...)
+	a.rowBuf = append(a.rowBuf, d.out)
+	if err := a.pendingRows.AppendRow(a.rowBuf...); err != nil {
+		return fmt.Errorf("exec: buffer view rows: %w", err)
 	}
 	return nil
 }
@@ -848,6 +1005,11 @@ func (a *applyIter) flush() error {
 		return fmt.Errorf("exec: materialize view %s: %w", a.store.Name(), err)
 	}
 	a.ctx.Clock.ChargePerTuple(simclock.CatMaterialize, costs.MatRowCost, n+len(keys))
+	// The view copied every stored row into its own batch; the staging
+	// buffer can go back to the pool.
+	if rows != nil {
+		a.ctx.putBatch(rows)
+	}
 	return nil
 }
 
@@ -857,10 +1019,15 @@ type projectIter struct {
 	ctx  *Context
 	in   iterator
 	node *plan.Project
+
+	// Reused per-batch scratch (see filterIter).
+	row []types.Datum
+	res rowResolver
 }
 
-// next projects one batch. The output batch and the scratch row are
-// sized once per batch; the row loop only writes into them.
+// next projects one batch into a pooled output batch, recycling the
+// input once its values have been copied. The scratch row and resolver
+// are reused across batches; the row loop only writes into them.
 // lint:hotpath project row loop must not allocate per row
 func (p *projectIter) next() (*types.Batch, error) {
 	b, err := p.in.next()
@@ -868,20 +1035,25 @@ func (p *projectIter) next() (*types.Batch, error) {
 		return nil, err
 	}
 	p.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, b.Len())
-	out := types.NewBatchCapacity(p.node.Schema(), b.Len())
-	res := &rowResolver{ctx: p.ctx, schema: b.Schema(), batch: b}
-	row := make([]types.Datum, len(p.node.Items))
+	out := p.ctx.getBatch(p.node.Schema())
+	if cap(p.row) < len(p.node.Items) {
+		p.row = make([]types.Datum, len(p.node.Items))
+	}
+	row := p.row[:len(p.node.Items)]
+	p.res = rowResolver{ctx: p.ctx, schema: b.Schema(), batch: b}
 	for r := 0; r < b.Len(); r++ {
-		res.row = r
+		p.res.row = r
 		for i, it := range p.node.Items {
-			v, err := expr.Eval(it.E, res)
+			v, err := expr.Eval(it.E, &p.res)
 			if err != nil {
+				p.ctx.putBatch(out)
 				return nil, fmt.Errorf("exec: project %q: %w", it.E, err)
 			}
 			row[i] = v
 		}
 		out.MustAppendRow(row...)
 	}
+	p.ctx.putBatch(b)
 	return out, nil
 }
 
@@ -892,6 +1064,11 @@ type groupIter struct {
 	in   iterator
 	node *plan.GroupBy
 	done bool
+
+	// Reused scratch: probe key, encoded-key buffer, resolver.
+	key   []types.Datum
+	ekBuf []byte
+	res   rowResolver
 }
 
 type aggState struct {
@@ -919,6 +1096,10 @@ func (g *groupIter) next() (*types.Batch, error) {
 
 	groups := map[string]*aggState{}
 	var order []string
+	if cap(g.key) < len(keyIdx) {
+		g.key = make([]types.Datum, len(keyIdx))
+	}
+	key := g.key[:len(keyIdx)]
 	for {
 		b, err := g.in.next()
 		if err != nil {
@@ -928,17 +1109,20 @@ func (g *groupIter) next() (*types.Batch, error) {
 			break
 		}
 		g.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, b.Len())
-		res := &rowResolver{ctx: g.ctx, schema: b.Schema(), batch: b}
+		g.res = rowResolver{ctx: g.ctx, schema: b.Schema(), batch: b}
+		res := &g.res
 		for r := 0; r < b.Len(); r++ {
-			key := make([]types.Datum, len(keyIdx))
 			for i, idx := range keyIdx {
 				key[i] = b.At(r, idx)
 			}
-			ek := storage.EncodeKey(key)
-			st, ok := groups[ek]
+			// Lookups reuse the encoded-key buffer; only a new group
+			// materializes the string key and copies the key row.
+			g.ekBuf = storage.AppendKey(g.ekBuf[:0], key)
+			st, ok := groups[string(g.ekBuf)]
 			if !ok {
+				ek := string(g.ekBuf)
 				st = &aggState{
-					keyRow: key,
+					keyRow: append([]types.Datum(nil), key...),
 					count:  make([]int64, len(g.node.Aggs)),
 					sum:    make([]float64, len(g.node.Aggs)),
 					min:    make([]types.Datum, len(g.node.Aggs)),
@@ -973,6 +1157,9 @@ func (g *groupIter) next() (*types.Batch, error) {
 				}
 			}
 		}
+		// Aggregate state holds Datum copies, never column slices, so
+		// the drained input batch can be recycled immediately.
+		g.ctx.putBatch(b)
 	}
 	// Global aggregate with no input rows still yields one row.
 	if len(g.node.Keys) == 0 && len(order) == 0 {
@@ -987,10 +1174,11 @@ func (g *groupIter) next() (*types.Batch, error) {
 	// Deterministic output order.
 	sort.Strings(order)
 
-	out := types.NewBatchCapacity(g.node.Schema(), len(order))
+	out := g.ctx.getBatch(g.node.Schema())
+	var row []types.Datum
 	for _, ek := range order {
 		st := groups[ek]
-		row := append([]types.Datum(nil), st.keyRow...)
+		row = append(row[:0], st.keyRow...)
 		for i, agg := range g.node.Aggs {
 			switch agg.Kind {
 			case plan.AggCount:
@@ -1030,7 +1218,14 @@ func (l *limitIter) next() (*types.Batch, error) {
 		return nil, err
 	}
 	if int64(b.Len()) > l.remaining {
-		b = b.Slice(0, int(l.remaining))
+		if b.Pooled() {
+			// A pooled batch is exclusively owned; truncating in place
+			// keeps it recyclable by the consumer (a Slice view would
+			// alias pooled storage and could never be Put safely).
+			b.Truncate(int(l.remaining))
+		} else {
+			b = b.Slice(0, int(l.remaining))
+		}
 	}
 	l.remaining -= int64(b.Len())
 	return b, nil

@@ -181,18 +181,21 @@ func (c *Context) stopStages() {
 	c.stages = nil
 }
 
-// runParallel invokes fn(i) for every i in [0, n), spreading calls
-// across at most workers goroutines and blocking until all complete.
-// Callers give each index a disjoint result slot, so fn needs no
-// locking of its own. With one worker it degenerates to an inline loop
-// — the serial engine's exact code path.
-func runParallel(workers, n int, fn func(i int)) {
+// runParallel invokes fn(worker, i) for every i in [0, n), spreading
+// calls across at most workers goroutines and blocking until all
+// complete. Callers give each index a disjoint result slot, so fn
+// needs no locking of its own; the worker argument (0-based, stable
+// per goroutine) lets callers hand each goroutine private scratch
+// space, which is how the apply operator's eval loop stays off the
+// heap. With one worker it degenerates to an inline loop — the serial
+// engine's exact code path, always worker 0.
+func runParallel(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -200,16 +203,16 @@ func runParallel(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

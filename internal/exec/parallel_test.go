@@ -289,14 +289,24 @@ func TestStageEarlyHalt(t *testing.T) {
 
 func TestRunParallelPool(t *testing.T) {
 	var sum atomic.Int64
-	runParallel(4, 100, func(i int) { sum.Add(int64(i)) })
+	runParallel(4, 100, func(w, i int) {
+		if w < 0 || w >= 4 {
+			t.Errorf("worker id %d out of range", w)
+		}
+		sum.Add(int64(i))
+	})
 	if got := sum.Load(); got != 4950 {
 		t.Errorf("parallel sum = %d", got)
 	}
 	sum.Store(0)
-	runParallel(1, 10, func(i int) { sum.Add(int64(i)) }) // serial path
+	runParallel(1, 10, func(w, i int) { // serial path, always worker 0
+		if w != 0 {
+			t.Errorf("serial worker id = %d", w)
+		}
+		sum.Add(int64(i))
+	})
 	if got := sum.Load(); got != 45 {
 		t.Errorf("serial sum = %d", got)
 	}
-	runParallel(8, 0, func(int) { t.Error("fn called for n=0") })
+	runParallel(8, 0, func(int, int) { t.Error("fn called for n=0") })
 }

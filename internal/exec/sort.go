@@ -31,11 +31,12 @@ func (s *sortIter) next() (*types.Batch, error) {
 	// charged to the query's memory budget. Sort cannot degrade (it
 	// must see all rows), so a failed charge aborts the query.
 	var reserved int64
-	all := types.NewBatch(s.node.Schema())
+	all := s.ctx.getBatch(s.node.Schema())
 	for {
 		b, err := s.in.next()
 		if err != nil {
 			s.ctx.Budget.Release(reserved)
+			s.ctx.putBatch(all)
 			return nil, err
 		}
 		if b == nil {
@@ -43,14 +44,19 @@ func (s *sortIter) next() (*types.Batch, error) {
 		}
 		if sz := int64(b.EncodedSize()); !s.ctx.Budget.Charge(sz) {
 			s.ctx.Budget.Release(reserved)
+			s.ctx.putBatch(all)
 			return nil, fmt.Errorf("exec: sort: %w", s.ctx.Budget.Exceeded("sort buffer", sz))
 		} else {
 			reserved += sz
 		}
 		if err := all.AppendBatch(b); err != nil {
 			s.ctx.Budget.Release(reserved)
+			s.ctx.putBatch(all)
 			return nil, fmt.Errorf("exec: sort: %w", err)
 		}
+		// AppendBatch copies rows into the sort buffer, so the drained
+		// input batch can go straight back to the pool.
+		s.ctx.putBatch(b)
 	}
 	defer s.ctx.Budget.Release(reserved)
 	s.ctx.Clock.ChargePerTuple(simclock.CatOther, costs.RowCost, all.Len())
@@ -59,7 +65,9 @@ func (s *sortIter) next() (*types.Batch, error) {
 	for i, k := range s.node.Keys {
 		keyIdx[i] = all.Schema().IndexOf(k.Col)
 		if keyIdx[i] < 0 {
-			return nil, fmt.Errorf("exec: sort key %q not in %s", k.Col, all.Schema())
+			err := fmt.Errorf("exec: sort key %q not in %s", k.Col, all.Schema())
+			s.ctx.putBatch(all)
+			return nil, err
 		}
 	}
 
@@ -89,12 +97,16 @@ func (s *sortIter) next() (*types.Batch, error) {
 		return false
 	})
 	if sortErr != nil {
+		s.ctx.putBatch(all)
 		return nil, sortErr
 	}
 
-	out := types.NewBatchCapacity(all.Schema(), all.Len())
+	out := s.ctx.getBatch(s.node.Schema())
+	var row []types.Datum
 	for _, r := range order {
-		out.MustAppendRow(all.Row(r)...)
+		row = all.AppendRowTo(row[:0], r)
+		out.MustAppendRow(row...)
 	}
+	s.ctx.putBatch(all)
 	return out, nil
 }

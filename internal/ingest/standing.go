@@ -307,10 +307,13 @@ func (q *StandingQuery) runDelta(lo, hi int64) (map[int64]int64, error) {
 		return nil, fmt.Errorf("ingest: standing query %q: delta result lost the id column (schema %s)", q.name, out.Rows.Schema())
 	}
 	counts := map[int64]int64{}
-	// lint:hotpath per-row window accumulation
 	for r := 0; r < out.Rows.Len(); r++ {
 		counts[out.Rows.At(r, idIdx).Int()/q.window]++
 	}
+	// The delta rows are fully folded into counts; hand the batch back
+	// to the engine's pool instead of leaving it for the collector —
+	// standing queries run once per ingest increment, forever.
+	s.eng.Recycle(out.Rows)
 	return counts, nil
 }
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -22,10 +23,22 @@ import (
 //     value where an interface is expected stores it in a fresh heap
 //     cell.
 //
-// Allocations inside a return statement are exempt — a return
-// terminates the loop, so the allocation happens at most once per
-// call (the error path). "// lint:coldalloc <why>" on or above a
-// statement exempts a deliberate cold allocation inside the loop.
+// Two pooled idioms are recognized as allocation-free and exempt:
+//
+//   - slot reset: `slots[i] = T{}` writes a composite literal into an
+//     existing slice or array element — reusing preallocated storage,
+//     not constructing a heap value (a map slot is NOT exempt; a map
+//     write can grow buckets);
+//   - terminal block: a block whose control flow unconditionally ends
+//     in a return (no break/continue/goto escaping it first) executes
+//     at most once per call, so its allocations — typically building
+//     an error before bailing out — are cold by construction.
+//
+// Allocations inside a return statement are exempt for the same
+// reason — a return terminates the loop, so the allocation happens at
+// most once per call (the error path). "// lint:coldalloc <why>" on
+// or above a statement exempts a deliberate cold allocation inside
+// the loop.
 //
 // The gate exists so the pooled-batch refactor (zero-allocation
 // scan→filter→apply) cannot silently regress: once a function is
@@ -106,24 +119,58 @@ func innermostLoops(body *ast.BlockStmt) []ast.Node {
 func (a *HotAlloc) checkLoop(u *Universe, pkg *Package, loop ast.Node) []Diagnostic {
 	body := loopBody(loop)
 
-	// Spans of return statements: allocations inside them run at most
-	// once per call (the loop exits), so they are cold by construction.
-	var returns []ast.Node
+	// Cold spans: allocations inside them run at most once per call, so
+	// they are exempt by construction. A return statement's span
+	// qualifies (the loop exits), and so does a terminal block — one
+	// that unconditionally ends in a return with no branch statement
+	// that could leave it early (the error-path idiom: fill in an error
+	// field, then bail out).
+	var coldSpans []ast.Node
 	inspectShallow(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.ReturnStmt); ok {
-			returns = append(returns, n)
+			coldSpans = append(coldSpans, n)
+			return false
+		}
+		if blk, ok := n.(*ast.BlockStmt); ok && terminalBlock(blk) {
+			coldSpans = append(coldSpans, blk)
 			return false
 		}
 		return true
 	})
 	cold := func(n ast.Node) bool {
-		for _, r := range returns {
+		for _, r := range coldSpans {
 			if r.Pos() <= n.Pos() && n.End() <= r.End() {
 				return true
 			}
 		}
 		return false
 	}
+
+	// Slot resets: composite literals written into an existing slice or
+	// array element reuse preallocated storage (only the outer literal
+	// is exempt; its elements are still checked).
+	slotReset := map[ast.Node]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || st.Tok != token.ASSIGN || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return true
+		}
+		idx, ok := ast.Unparen(st.Lhs[0]).(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(st.Rhs[0]).(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if t := pkg.Info.Types[idx.X].Type; t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Array:
+				slotReset[lit] = true
+			}
+		}
+		return true
+	})
 
 	var diags []Diagnostic
 	flag := func(n ast.Node, msg string) {
@@ -140,6 +187,9 @@ func (a *HotAlloc) checkLoop(u *Universe, pkg *Package, loop ast.Node) []Diagnos
 	inspectShallow(body, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.CompositeLit:
+			if slotReset[e] {
+				return true // exempt slot reset; still check its elements
+			}
 			flag(e, "composite literal allocates per row")
 			return false
 		case *ast.BinaryExpr:
@@ -176,6 +226,28 @@ func (a *HotAlloc) checkLoop(u *Universe, pkg *Package, loop ast.Node) []Diagnos
 		return true
 	})
 	return diags
+}
+
+// terminalBlock reports whether blk unconditionally ends in a return
+// and contains no branch statement (break, continue, goto,
+// fallthrough) that could leave it before reaching that return — so
+// once entered, the block always exits the function, and therefore
+// executes at most once per call.
+func terminalBlock(blk *ast.BlockStmt) bool {
+	if len(blk.List) == 0 {
+		return false
+	}
+	if _, ok := blk.List[len(blk.List)-1].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	escapes := false
+	ast.Inspect(blk, func(n ast.Node) bool {
+		if _, ok := n.(*ast.BranchStmt); ok {
+			escapes = true
+		}
+		return !escapes
+	})
+	return !escapes
 }
 
 // checkCall enforces the call-shaped rules: make/append, per-row fmt

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -167,6 +169,34 @@ func packageDirs(root, base string, includeTestdata bool) ([]string, error) {
 	return dirs, nil
 }
 
+// buildTagSatisfied reports whether the file's //go:build constraint
+// (if any) holds under the default build configuration — the one the
+// repo's tier-1 `go build ./...` sees: host GOOS/GOARCH, gc, and no
+// extra tags. Files gated on custom tags (evadebug) or toolchain modes
+// (race) are the alternate halves of paired variants; loading both
+// halves would redeclare their shared symbols.
+func buildTagSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+					strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
+}
+
 type loader struct {
 	fset    *token.FileSet
 	root    string
@@ -228,7 +258,13 @@ func (l *loader) load(path string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
+		if !buildTagSatisfied(f) {
+			continue
+		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
 	}
 
 	info := &types.Info{

@@ -12,11 +12,11 @@ type Row struct {
 
 func sink(v any) { _ = v }
 
-// FillRows constructs a fresh composite value per row.
+// FillRows fills map slots per row — not a slot reset (maps grow).
 // lint:hotpath the scan loop must reuse the batch's backing array
-func FillRows(rows []Row) {
-	for i := range rows {
-		rows[i] = Row{ID: i} // want "composite literal allocates per row"
+func FillRows(n int, rowm map[int]Row) {
+	for i := 0; i < n; i++ {
+		rowm[i] = Row{ID: i} // want "composite literal allocates per row"
 	}
 }
 
@@ -52,4 +52,32 @@ func Box(ids []int) {
 		last = id // want "assignment boxes int into an interface"
 	}
 	_ = last
+}
+
+// Swallow builds an error per row but keeps looping: the branch block
+// does not terminate in a return (it continues), so the allocation
+// is hot, not a cold bail-out.
+// lint:hotpath the eval loop must not build errors it swallows
+func Swallow(ids []int) error {
+	var last error
+	for _, id := range ids {
+		if id < 0 {
+			last = fmt.Errorf("negative id %d", id) // want "fmt.Errorf formats per row"
+			continue
+		}
+		sink(&last)
+	}
+	return last
+}
+
+// GrowPooled appends past a pooled column's capacity per row — pooled
+// buffers are sized in the batch preamble, never grown per row.
+// lint:hotpath pooled columns are sized per batch, not grown per row
+func GrowPooled(pooled []Row, ids []int) []Row {
+	var row Row
+	for _, id := range ids {
+		row.ID = id
+		pooled = append(pooled, row) // want "append grows a buffer per row"
+	}
+	return pooled
 }

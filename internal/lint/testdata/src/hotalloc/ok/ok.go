@@ -4,7 +4,10 @@
 // arguments, annotated cold branches, and outer batch loops.
 package ok
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Row is one decoded record.
 type Row struct{ ID int }
@@ -77,4 +80,43 @@ func Describe(ids []int) []string {
 		out = append(out, fmt.Sprint(id))
 	}
 	return out
+}
+
+// Reset zeroes preallocated slots per row: a composite literal
+// written into an existing slice element reuses storage instead of
+// constructing a heap value.
+// lint:hotpath probe loop resets its decision slots in place
+func Reset(slots []Row) {
+	for i := range slots {
+		slots[i] = Row{}
+	}
+}
+
+// Bail allocates its error inside a terminal block: once entered, the
+// block always returns, so the allocation runs at most once per call.
+// lint:hotpath eval loop allocates only on the bail-out path
+func Bail(results []error, ids []int) error {
+	for i, id := range ids {
+		if id < 0 {
+			err := fmt.Errorf("negative id %d", id)
+			results[i] = err
+			return err
+		}
+	}
+	return nil
+}
+
+// PoolGet obtains scratch from a pool in the batch preamble — outside
+// the innermost row loop, which only writes into it.
+// lint:hotpath row loop writes into pooled scratch
+func PoolGet(pool *sync.Pool, batches [][]int) {
+	for _, batch := range batches {
+		buf := pool.Get().(*[]int)
+		for i, v := range batch {
+			if i < len(*buf) {
+				(*buf)[i] = v
+			}
+		}
+		pool.Put(buf)
+	}
 }

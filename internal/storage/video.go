@@ -110,6 +110,43 @@ func (v *Video) Scan(lo, hi int64) (*types.Batch, error) {
 	return out, nil
 }
 
+// ScanInto appends frames with id in [lo, hi) to out, which must carry
+// the video schema. Unlike Scan it copies rows instead of slicing the
+// segment cache, so the caller fully owns out — the contract a pooled
+// scan batch needs (recycling a batch that aliased the cache would let
+// poisoning or reuse corrupt it).
+func (v *Video) ScanInto(out *types.Batch, lo, hi int64) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.NumFrames() {
+		hi = v.NumFrames()
+	}
+	if hi <= lo {
+		return nil
+	}
+	for seg := int(lo) / v.segFrames; seg <= int(hi-1)/v.segFrames; seg++ {
+		batch, err := v.segment(seg)
+		if err != nil {
+			return err
+		}
+		segLo := int64(seg * v.segFrames)
+		from, to := lo-segLo, hi-segLo
+		if from < 0 {
+			from = 0
+		}
+		if to > int64(batch.Len()) {
+			to = int64(batch.Len())
+		}
+		if to > from {
+			if err := out.AppendRange(batch, int(from), int(to)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // segment loads (materializing if needed) one segment.
 func (v *Video) segment(idx int) (*types.Batch, error) {
 	v.mu.Lock()

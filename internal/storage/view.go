@@ -480,6 +480,16 @@ func encodeKey(key []types.Datum) string {
 // probe tables.
 func EncodeKey(key []types.Datum) string { return encodeKey(key) }
 
+// AppendKey appends the canonical key encoding to buf and returns it —
+// the allocation-free form of EncodeKey for probe loops that reuse a
+// scratch buffer and look up with HasKeyBytes / RowsForKeyBytes.
+func AppendKey(buf []byte, key []types.Datum) []byte {
+	for _, d := range key {
+		buf = d.AppendBinary(buf)
+	}
+	return buf
+}
+
 func (v *View) rowKey(b *types.Batch, r int) string {
 	key := make([]types.Datum, len(v.keyIdx))
 	for i, c := range v.keyIdx {
@@ -693,6 +703,25 @@ func (v *View) RowsForKey(key []types.Datum) []int {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return v.rowsByKey[encodeKey(key)]
+}
+
+// HasKeyBytes is HasKey over an AppendKey-encoded key. The string
+// conversion in the map index is recognized by the compiler and does
+// not allocate, which is what the executor's probe loop needs.
+func (v *View) HasKeyBytes(ek []byte) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.processed[string(ek)]
+	return ok
+}
+
+// RowsForKeyBytes is RowsForKey over an AppendKey-encoded key. The
+// returned slice is the live index; callers must treat it as read-only
+// (it stays valid because views are append-only).
+func (v *View) RowsForKeyBytes(ek []byte) []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.rowsByKey[string(ek)]
 }
 
 // ClaimKeys atomically claims every encoded key for evaluation by one

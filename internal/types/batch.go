@@ -10,10 +10,17 @@ import (
 // in segments and materialized views.
 //
 // The zero Batch is empty and unusable; construct with NewBatch.
+//
+// A batch obtained from a BatchPool additionally carries its owning
+// pool and a free flag; see pool.go for the recycling lifecycle and
+// its ownership rules.
 type Batch struct {
 	schema Schema
 	cols   [][]Datum
 	n      int
+
+	pool *BatchPool // owning pool; nil for ordinary batches
+	free bool       // true between Put and the next Get
 }
 
 // NewBatch returns an empty batch with the given schema.
@@ -36,6 +43,10 @@ func (b *Batch) Schema() Schema { return b.schema }
 
 // Len returns the number of rows.
 func (b *Batch) Len() int { return b.n }
+
+// Pooled reports whether the batch came from a BatchPool and so may
+// (and should) be returned with Put once its owner is done with it.
+func (b *Batch) Pooled() bool { return b != nil && b.pool != nil }
 
 // AppendRow appends one row. The number of datums must match the schema
 // width; kinds are checked loosely (NULL is accepted in any column).
@@ -96,6 +107,80 @@ func (b *Batch) AppendBatch(other *Batch) error {
 	}
 	b.n += other.n
 	return nil
+}
+
+// Reset truncates the batch to zero rows, keeping column capacity.
+func (b *Batch) Reset() {
+	for c := range b.cols {
+		b.cols[c] = b.cols[c][:0]
+	}
+	b.n = 0
+}
+
+// AppendRange appends rows [lo, hi) of other, whose schema must be
+// equal. It copies datum values without materializing an intermediate
+// slice, so it is the allocation-free way to move a row range between
+// batches (Slice shares storage instead — never safe onto or out of a
+// pooled batch).
+func (b *Batch) AppendRange(other *Batch, lo, hi int) error {
+	if !b.schema.Equal(other.schema) {
+		return fmt.Errorf("types: append range from batch %s to batch %s", other.schema, b.schema)
+	}
+	if lo < 0 || hi > other.n || lo > hi {
+		return fmt.Errorf("types: append range [%d,%d) of a %d-row batch", lo, hi, other.n)
+	}
+	for c := range b.cols {
+		b.cols[c] = append(b.cols[c], other.cols[c][lo:hi]...)
+	}
+	b.n += hi - lo
+	return nil
+}
+
+// FilterInPlace compacts the batch to the rows where keep[i] is true,
+// reusing the column storage — the pooled-lifecycle counterpart of
+// Filter. The caller must own the batch exclusively.
+func (b *Batch) FilterInPlace(keep []bool) {
+	w := 0
+	for r := 0; r < b.n; r++ {
+		if !keep[r] {
+			continue
+		}
+		if w != r {
+			for c := range b.cols {
+				b.cols[c][w] = b.cols[c][r]
+			}
+		}
+		w++
+	}
+	for c := range b.cols {
+		b.cols[c] = b.cols[c][:w]
+	}
+	b.n = w
+}
+
+// Truncate keeps only the first n rows, in place — the pooled-
+// lifecycle counterpart of Slice(0, n), preserving the batch's
+// ownership instead of aliasing its storage. No-op when n >= Len.
+func (b *Batch) Truncate(n int) {
+	if n >= b.n {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	for c := range b.cols {
+		b.cols[c] = b.cols[c][:n]
+	}
+	b.n = n
+}
+
+// AppendRowTo appends row i's datums to dst and returns it — the
+// scratch-buffer form of Row for allocation-gated loops.
+func (b *Batch) AppendRowTo(dst []Datum, i int) []Datum {
+	for c := range b.cols {
+		dst = append(dst, b.cols[c][i])
+	}
+	return dst
 }
 
 // Filter returns a new batch containing the rows where keep[i] is true.

@@ -1,0 +1,8 @@
+//go:build !evadebug
+
+package types
+
+// poisonDefault leaves use-after-Put poisoning off in release builds;
+// enable it per-process with EVA_POOL_POISON or per-pool with
+// SetPoison. See BatchPool.
+const poisonDefault = false

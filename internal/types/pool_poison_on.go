@@ -1,0 +1,7 @@
+//go:build evadebug
+
+package types
+
+// poisonDefault enables use-after-Put poisoning in debug builds
+// (`go test -tags evadebug ./...`); see BatchPool.
+const poisonDefault = true

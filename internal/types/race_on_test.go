@@ -1,0 +1,7 @@
+//go:build race
+
+package types
+
+// raceEnabled lets allocation-counting tests skip under the race
+// detector, whose instrumentation adds allocations of its own.
+const raceEnabled = true

@@ -151,6 +151,12 @@ func (s *OutcomeSink) record(name string, ok bool) {
 	s.outcomes = append(s.outcomes, sunkOutcome{name: name, ok: ok})
 }
 
+// Reset clears the sink for reuse, keeping its capacity — executors
+// recycle per-row sinks across batches to stay off the heap.
+func (s *OutcomeSink) Reset() {
+	s.outcomes = s.outcomes[:0]
+}
+
 // CommitOutcomes applies a row's deferred invocation outcomes to the
 // domain's circuit breakers. The executor calls it row by row in
 // input order, so consecutive-failure counts — and therefore breaker
@@ -163,7 +169,8 @@ func (d *Domain) CommitOutcomes(sink *OutcomeSink) {
 	for _, o := range sink.outcomes {
 		d.noteOutcome(o.name, o.ok)
 	}
-	sink.outcomes = nil
+	// Keep the capacity: committed sinks are recycled by the executor.
+	sink.outcomes = sink.outcomes[:0]
 }
 
 // CommitOutcomes applies deferred outcomes to the default domain.

@@ -118,8 +118,17 @@ func (r *Runtime) RegisterImpl(name string, fn ScalarFunc) {
 // invocation key — whether or not it was ultimately reused. The
 // execution engine calls it once per (UDF, input tuple).
 func (r *Runtime) RecordDemand(u string, key string) {
-	u = strings.ToLower(u)
-	h := xxhash.Sum64([]byte(key), 0)
+	r.recordDemand(strings.ToLower(u), xxhash.Sum64([]byte(key), 0))
+}
+
+// RecordDemandKey is RecordDemand for allocation-gated probe loops:
+// lower must already be lower-case and key is the raw encoded
+// invocation key, so the steady-state call neither converts nor copies.
+func (r *Runtime) RecordDemandKey(lower string, key []byte) {
+	r.recordDemand(lower, xxhash.Sum64(key, 0))
+}
+
+func (r *Runtime) recordDemand(u string, h uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m, ok := r.demand[u]
@@ -206,8 +215,10 @@ func virtualArgBytes(args []types.Datum) int {
 	total := 0
 	for _, a := range args {
 		if a.Kind() == types.KindBytes {
-			if df, err := vision.DecodeFrame(a.Bytes()); err == nil {
-				total += df.Width * df.Height * 3
+			// Header-only read: the hash-cost model needs the virtual
+			// pixel volume, not the decoded object list.
+			if n, ok := vision.FrameVirtualBytes(a.Bytes()); ok {
+				total += n
 				continue
 			}
 		}
@@ -216,16 +227,51 @@ func virtualArgBytes(args []types.Datum) int {
 	return total
 }
 
-// rawArgs serializes the arguments prefixed by the UDF name: the paper
-// keeps a separate hash table per UDF, so keys must not collide across
-// UDFs that share argument tuples (CarType and ColorDet both take
-// (frame, bbox)).
-func rawArgs(udfName string, args []types.Datum) []byte {
-	buf := append([]byte(strings.ToLower(udfName)), 0)
+// rawBufPool recycles the raw-argument serialization buffers of the
+// FunCache key path, so a warm cache hit performs no heap allocation.
+var rawBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// appendLowerName appends name lower-cased to buf without allocating.
+// UDF names are ASCII identifiers by construction (the parser rejects
+// anything else), so byte-wise lowering is exact.
+func appendLowerName(buf []byte, name string) []byte {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf = append(buf, c)
+	}
+	return buf
+}
+
+// rawArgsInto serializes the arguments prefixed by the UDF name into
+// buf: the paper keeps a separate hash table per UDF, so keys must not
+// collide across UDFs that share argument tuples (CarType and ColorDet
+// both take (frame, bbox)).
+func rawArgsInto(buf []byte, udfName string, args []types.Datum) []byte {
+	buf = appendLowerName(buf, udfName)
+	buf = append(buf, 0)
 	for _, a := range args {
 		buf = a.AppendBinary(buf)
 	}
 	return buf
+}
+
+// rawArgs is rawArgsInto with a fresh buffer (legacy identity path).
+func rawArgs(udfName string, args []types.Datum) []byte {
+	return rawArgsInto(nil, udfName, args)
+}
+
+// funCacheKey computes the FunCache key for an invocation, charging the
+// simulated hash cost, using a pooled serialization buffer.
+func (d *Domain) funCacheKey(udfName string, args []types.Datum) xxhash.Key128 {
+	bufp := rawBufPool.Get().(*[]byte)
+	raw := rawArgsInto((*bufp)[:0], udfName, args)
+	key := d.hashArgs(virtualArgBytes(args), raw)
+	*bufp = raw[:0]
+	rawBufPool.Put(bufp)
+	return key
 }
 
 // EvalDetector runs a table UDF (object detector) on one frame,
@@ -268,11 +314,9 @@ func (d *Domain) EvalDetectorAt(name string, payload []byte, id uint64, hs *Heal
 	}
 	args := []types.Datum{types.NewBytes(payload)}
 	if r.isFunCache() {
-		raw := rawArgs(u.Name, args)
-		key := d.hashArgs(virtualArgBytes(args), raw)
+		key := d.funCacheKey(u.Name, args)
 		id = key.Hi ^ key.Lo // claimant-independent identity
-		// lint:nolock the accessor closure runs under mu inside claimFlight
-		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]*types.Batch { return r.tableC }, key)
+		cached, hit, done := claimTable(r, key)
 		if hit {
 			r.RecordReuse(name)
 			return cached, nil
@@ -352,11 +396,9 @@ func (d *Domain) EvalScalarAt(name string, args []types.Datum, id uint64, hs *He
 		return types.Null, fmt.Errorf("udf: %s is not a scalar UDF", name)
 	}
 	if r.isFunCache() && u.Expensive {
-		raw := rawArgs(u.Name, args)
-		key := d.hashArgs(virtualArgBytes(args), raw)
+		key := d.funCacheKey(u.Name, args)
 		id = key.Hi ^ key.Lo // claimant-independent identity
-		// lint:nolock the accessor closure runs under mu inside claimFlight
-		cached, hit, done := claimFlight(r, func() map[xxhash.Key128]types.Datum { return r.scalarC }, key)
+		cached, hit, done := claimScalar(r, key)
 		if hit {
 			r.RecordReuse(name)
 			return cached, nil
@@ -465,38 +507,64 @@ func (r *Runtime) isFunCache() bool {
 // row wins a claim.
 func (r *Runtime) FunCacheEnabled() bool { return r.isFunCache() }
 
-// claimFlight implements per-key singleflight for the FunCache: it
-// returns (cached, true, nil) on a hit, or (zero, false, done) after
-// claiming the key for evaluation — the caller must store the result
-// in the cache (on success) and then invoke done exactly once.
-// Concurrent callers of the same key block until the claimant
+// claimScalar / claimTable implement per-key singleflight for the
+// FunCache: they return (cached, true, nil) on a hit, or (zero, false,
+// done) after claiming the key for evaluation — the caller must store
+// the result in the cache (on success) and then invoke done exactly
+// once. Concurrent callers of the same key block until the claimant
 // finishes, then re-check the cache, so each distinct key is evaluated
 // — and its miss costs charged — at most once per outcome even under
 // concurrent eval (a failed claimant releases the key, letting one
-// waiter retry).
-func claimFlight[V any](r *Runtime, cache func() map[xxhash.Key128]V, key xxhash.Key128) (V, bool, func()) {
+// waiter retry). They are concrete (not one generic function taking a
+// map accessor closure) for two reasons: the cache maps are replaced
+// wholesale by ResetCounters so each loop iteration must re-read the
+// live field under mu, and the warm-hit path must not allocate — a
+// per-call closure capturing the runtime would.
+func claimScalar(r *Runtime, key xxhash.Key128) (types.Datum, bool, func()) {
 	for {
 		r.mu.Lock()
-		if v, ok := cache()[key]; ok {
+		if v, ok := r.scalarC[key]; ok {
 			r.mu.Unlock()
 			return v, true, nil
 		}
-		ch, busy := r.inflight[key]
-		if !busy {
-			done := make(chan struct{})
-			r.inflight[key] = done
-			r.mu.Unlock()
-			var zero V
-			return zero, false, func() {
-				r.mu.Lock()
-				delete(r.inflight, key)
-				r.mu.Unlock()
-				close(done)
-			}
+		if done, claimed := r.claimLocked(key); claimed {
+			return types.Null, false, done
 		}
+	}
+}
+
+func claimTable(r *Runtime, key xxhash.Key128) (*types.Batch, bool, func()) {
+	for {
+		r.mu.Lock()
+		if v, ok := r.tableC[key]; ok {
+			r.mu.Unlock()
+			return v, true, nil
+		}
+		if done, claimed := r.claimLocked(key); claimed {
+			return nil, false, done
+		}
+	}
+}
+
+// claimLocked is the shared miss path of claimScalar/claimTable: called
+// with mu held, it either claims the key (returning its release func)
+// or blocks on the current claimant and reports false so the caller
+// re-checks the cache. It always leaves mu unlocked.
+func (r *Runtime) claimLocked(key xxhash.Key128) (func(), bool) {
+	if ch, busy := r.inflight[key]; busy {
 		r.mu.Unlock()
 		<-ch
+		return nil, false
 	}
+	done := make(chan struct{})
+	r.inflight[key] = done
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+		close(done)
+	}, true
 }
 
 func (r *Runtime) countEval(name string) {

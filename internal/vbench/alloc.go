@@ -1,0 +1,279 @@
+package vbench
+
+// The allocation benchmark behind BENCH_alloc.json: the pooled-batch
+// lifecycle (DESIGN.md §13) promises a steady-state warm hot path —
+// scan → filter → apply served from a materialized view — that
+// performs ~zero heap allocations per row. This benchmark measures
+// that promise directly with runtime.MemStats malloc deltas, snapshots
+// the batch-pool counters, and cross-checks that pooling is
+// observationally invisible: a pooled/unpooled × worker-count matrix
+// whose result digests must all be byte-identical.
+//
+// The per-row rate is measured as a *marginal*: the same warm query at
+// two scan lengths, allocations divided by the extra rows. Per-query
+// overhead (parse, optimize, plan, result assembly) cancels out, so
+// the number isolates exactly the per-row cost the pool is supposed to
+// eliminate.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"eva"
+	"eva/internal/vision"
+)
+
+// AllocCell is one measured mode (the reuse engine with view-serving,
+// or the FunCache baseline with a warm tuple cache).
+type AllocCell struct {
+	Mode string `json:"mode"`
+	// AllocsPerRow is the marginal warm-path allocation rate:
+	// (allocs(long) − allocs(short)) / (longFrames − shortFrames).
+	AllocsPerRow float64 `json:"allocs_per_row"`
+	// BytesPerRow is the marginal heap traffic in bytes per row.
+	BytesPerRow float64 `json:"bytes_per_row"`
+	// AllocsPerRunShort/Long are the absolute per-query averages the
+	// marginal is derived from (per-query overhead included).
+	AllocsPerRunShort float64 `json:"allocs_per_run_short"`
+	AllocsPerRunLong  float64 `json:"allocs_per_run_long"`
+	// Pool traffic accumulated over the cell's runs.
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
+	PoolPuts   int64 `json:"pool_puts"`
+}
+
+// AllocMatrixCell is one pooled/unpooled differential measurement: the
+// digest covers cold and warm result rows, view row counts, reuse
+// counters and simulated time, and must be identical in every cell.
+type AllocMatrixCell struct {
+	Pooled  bool   `json:"pooled"`
+	Workers int    `json:"workers"`
+	Digest  string `json:"digest"`
+}
+
+// AllocResult is the JSON-serialized baseline (BENCH_alloc.json).
+type AllocResult struct {
+	Benchmark   string            `json:"benchmark"`
+	Dataset     string            `json:"dataset"`
+	ShortFrames int               `json:"short_frames"`
+	LongFrames  int               `json:"long_frames"`
+	WarmRuns    int               `json:"warm_runs"`
+	Cells       []AllocCell       `json:"cells"`
+	Matrix      []AllocMatrixCell `json:"matrix"`
+}
+
+// AllocBenchConfig parameterizes RunAllocBench.
+type AllocBenchConfig struct {
+	ShortFrames int // scan length of the short query
+	LongFrames  int // scan length of the long query
+	WarmRuns    int // measured warm repetitions per query
+}
+
+// DefaultAllocBench is the committed-baseline configuration.
+func DefaultAllocBench() AllocBenchConfig {
+	return AllocBenchConfig{ShortFrames: 512, LongFrames: 2048, WarmRuns: 20}
+}
+
+// WarmAllocGate is the acceptance threshold on the reuse engine's
+// marginal warm-path allocation rate: per-row work must be
+// allocation-free, with a small allowance for per-batch amortized
+// bookkeeping (one view snapshot header and a few slice headers per
+// 256-row batch).
+const WarmAllocGate = 0.05
+
+// allocSetup loads the dataset and registers the cheap deterministic
+// predicate UDF the benchmark filters on.
+func allocSetup(sys *eva.System) error {
+	if _, err := sys.Exec(`LOAD VIDEO 'jackson' INTO video`); err != nil {
+		return err
+	}
+	_, err := sys.Exec(`CREATE UDF AllocNet
+		INPUT  = (frame NDARRAY UINT8(3, ANYDIM, ANYDIM))
+		OUTPUT = (allocnet_out BOOLEAN)
+		IMPL   = 'bench:parity'
+		LOGICAL_TYPE = AllocNet
+		PROPERTIES = ('COST_MS' = '1')`)
+	if err != nil {
+		return err
+	}
+	sys.RegisterScalarImpl("AllocNet", func(args []eva.Datum) (eva.Datum, error) {
+		return eva.NewBool(len(args[0].Bytes())%2 == 0), nil
+	})
+	return nil
+}
+
+func allocQuery(frames int) string {
+	return fmt.Sprintf(`SELECT id FROM video WHERE id < %d AND AllocNet(frame) = TRUE`, frames)
+}
+
+// measureWarm returns the average per-run malloc and byte deltas of
+// the warm query, after a cold run has materialized its view (or
+// warmed the tuple cache) and one discarded warm run has let pooled
+// capacities reach steady state.
+func measureWarm(sys *eva.System, query string, runs int) (allocs, bytes float64, err error) {
+	for i := 0; i < 2; i++ { // cold (materialize) + capacity warm-up
+		res, err := sys.Exec(query)
+		if err != nil {
+			return 0, 0, err
+		}
+		sys.Recycle(res.Rows)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		res, err := sys.Exec(query)
+		if err != nil {
+			return 0, 0, err
+		}
+		sys.Recycle(res.Rows)
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(runs),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(runs), nil
+}
+
+// runAllocCell measures one mode end to end in a fresh system.
+func runAllocCell(mode eva.SystemMode, modeName string, cfg AllocBenchConfig) (AllocCell, error) {
+	sys, err := eva.Open(eva.Config{Mode: mode})
+	if err != nil {
+		return AllocCell{}, err
+	}
+	defer sys.Close()
+	if err := allocSetup(sys); err != nil {
+		return AllocCell{}, err
+	}
+	short, _, err := measureWarm(sys, allocQuery(cfg.ShortFrames), cfg.WarmRuns)
+	if err != nil {
+		return AllocCell{}, err
+	}
+	long, longBytes, err := measureWarm(sys, allocQuery(cfg.LongFrames), cfg.WarmRuns)
+	if err != nil {
+		return AllocCell{}, err
+	}
+	shortBytes := 0.0
+	if short2, b, err := measureWarm(sys, allocQuery(cfg.ShortFrames), cfg.WarmRuns); err == nil {
+		// Re-measure short after long so both queries' capacities are
+		// steady; keep the smaller of the two short samples.
+		if short2 < short {
+			short = short2
+		}
+		shortBytes = b
+	} else {
+		return AllocCell{}, err
+	}
+	rows := float64(cfg.LongFrames - cfg.ShortFrames)
+	st := sys.PoolStats()
+	return AllocCell{
+		Mode:              modeName,
+		AllocsPerRow:      (long - short) / rows,
+		BytesPerRow:       (longBytes - shortBytes) / rows,
+		AllocsPerRunShort: short,
+		AllocsPerRunLong:  long,
+		PoolHits:          st.Hits,
+		PoolMisses:        st.Misses,
+		PoolPuts:          st.Puts,
+	}, nil
+}
+
+// allocMatrixDigest runs the workload cold and warm in one fresh
+// system and digests everything a client observes.
+func allocMatrixDigest(pooled bool, workers, frames int) (string, error) {
+	sys, err := eva.Open(eva.Config{Workers: workers, DisablePooling: !pooled})
+	if err != nil {
+		return "", err
+	}
+	defer sys.Close()
+	if err := allocSetup(sys); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for run := 0; run < 2; run++ { // cold then warm
+		res, err := sys.Exec(allocQuery(frames))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "run %d rows %d\n%s", run, res.Rows.Len(), eva.Format(res.Rows))
+		fmt.Fprintf(h, "sim %d\n", res.SimTime)
+		sys.Recycle(res.Rows)
+	}
+	for name, rows := range sys.ViewRows() {
+		fmt.Fprintf(h, "view %s %d\n", name, rows)
+	}
+	fmt.Fprintf(h, "hit %.6f total %d\n", sys.HitPercentage(), sys.SimulatedTime())
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// RunAllocBench measures the warm-path allocation rates, snapshots the
+// pool counters, and verifies the pooled/unpooled differential matrix.
+// It fails if the reuse engine's marginal rate exceeds WarmAllocGate
+// or if any matrix digest diverges.
+func RunAllocBench(cfg AllocBenchConfig) (*AllocResult, error) {
+	res := &AllocResult{
+		Benchmark:   "pooled-batch-alloc",
+		Dataset:     vision.Jackson.Name,
+		ShortFrames: cfg.ShortFrames,
+		LongFrames:  cfg.LongFrames,
+		WarmRuns:    cfg.WarmRuns,
+	}
+	for _, m := range []struct {
+		mode eva.SystemMode
+		name string
+	}{{eva.ModeEVA, "eva-view-served"}, {eva.ModeFunCache, "funcache-warm"}} {
+		cell, err := runAllocCell(m.mode, m.name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("vbench: alloc cell %s: %w", m.name, err)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	if got := res.Cells[0].AllocsPerRow; got > WarmAllocGate {
+		return nil, fmt.Errorf("vbench: warm view-served path allocates %.4f/row (gate %.2f)", got, WarmAllocGate)
+	}
+	if res.Cells[0].PoolHits == 0 {
+		return nil, fmt.Errorf("vbench: pool recorded no hits — the pooled lifecycle is not engaged")
+	}
+	var first string
+	for _, pooled := range []bool{false, true} {
+		for _, w := range []int{1, 2, 8} {
+			d, err := allocMatrixDigest(pooled, w, cfg.ShortFrames)
+			if err != nil {
+				return nil, fmt.Errorf("vbench: alloc matrix pooled=%v workers=%d: %w", pooled, w, err)
+			}
+			if first == "" {
+				first = d
+			} else if d != first {
+				return nil, fmt.Errorf("vbench: alloc matrix digest diverged at pooled=%v workers=%d", pooled, w)
+			}
+			res.Matrix = append(res.Matrix, AllocMatrixCell{Pooled: pooled, Workers: w, Digest: d})
+		}
+	}
+	return res, nil
+}
+
+// JSON renders the result as indented JSON (BENCH_alloc.json).
+func (r *AllocResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ExpAlloc is the cmd/vbench experiment wrapper.
+func ExpAlloc(ExpConfig) (string, error) {
+	res, err := RunAllocBench(DefaultAllocBench())
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "warm hot path, marginal over %d extra rows, %d runs per sample\n",
+		res.LongFrames-res.ShortFrames, res.WarmRuns)
+	fmt.Fprintf(&sb, "%-18s | %12s | %12s | %8s | %8s | %8s\n",
+		"Mode", "allocs/row", "bytes/row", "hits", "misses", "puts")
+	sb.WriteString(strings.Repeat("-", 80) + "\n")
+	for _, c := range res.Cells {
+		fmt.Fprintf(&sb, "%-18s | %12.4f | %12.1f | %8d | %8d | %8d\n",
+			c.Mode, c.AllocsPerRow, c.BytesPerRow, c.PoolHits, c.PoolMisses, c.PoolPuts)
+	}
+	fmt.Fprintf(&sb, "matrix: %d cells, all digests identical\n", len(res.Matrix))
+	return sb.String(), nil
+}

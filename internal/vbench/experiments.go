@@ -63,6 +63,7 @@ func Experiments() []Experiment {
 		{ID: "chaos", Title: "Chaos differential — fault determinism across worker counts", Paper: "engine extension (DESIGN.md §9–10): fault-injected runs byte-identical at every worker count", Run: ExpChaos},
 		{ID: "server", Title: "Serving layer — open-loop multi-session load", Paper: "engine extension (DESIGN.md §11): admitted/shed counts, virtual queue-wait percentiles, throughput", Run: ExpServer},
 		{ID: "ingest", Title: "Streaming ingestion — throughput, checkpoint lag, recovery", Paper: "engine extension (DESIGN.md §12): frames/s, checkpoint lag percentiles, reopen time vs log length", Run: ExpIngest},
+		{ID: "alloc", Title: "Pooled batches — warm hot-path allocations per row", Paper: "engine extension (DESIGN.md §13): marginal allocs/row ~0 on the warm view-served path, pooled/unpooled digests identical", Run: ExpAlloc},
 	}
 }
 

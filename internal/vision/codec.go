@@ -59,6 +59,22 @@ type DecodedFrame struct {
 	Objects []Object
 }
 
+// FrameVirtualBytes reads only the payload header and returns the
+// frame's virtual decoded size (RGB24). It is the allocation-free
+// fast path for callers that need the simulated pixel volume — e.g.
+// FunCache hash-cost accounting — without materializing the object
+// list DecodeFrame builds.
+func FrameVirtualBytes(payload []byte) (int, bool) {
+	if len(payload) < 19 ||
+		binary.LittleEndian.Uint32(payload) != payloadMagic ||
+		payload[4] != payloadVersion {
+		return 0, false
+	}
+	w := int(binary.LittleEndian.Uint16(payload[13:]))
+	h := int(binary.LittleEndian.Uint16(payload[15:]))
+	return w * h * 3, true
+}
+
 // DecodeFrame parses a payload produced by EncodeFrame.
 func DecodeFrame(payload []byte) (DecodedFrame, error) {
 	var df DecodedFrame

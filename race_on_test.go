@@ -1,0 +1,8 @@
+//go:build race
+
+package eva_test
+
+// raceEnabled mirrors the -race build mode for tests whose assertions
+// are perturbed by the race detector (allocation counts; sync.Pool
+// drops items adversarially under -race).
+const raceEnabled = true
