@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench faults-stress differential chaos server-stress ingest-chaos cover fuzz-smoke alloc pool-safety
+.PHONY: build test race lint check bench faults-stress differential chaos server-stress ingest-chaos cover fuzz-smoke alloc pool-safety scrub
 
 build:
 	$(GO) build ./...
@@ -108,6 +108,18 @@ fuzz-smoke:
 alloc:
 	$(GO) test -run 'TestWarmPathAllocsPerRow|TestAllocBaselineCommitted' .
 
+# scrub runs the self-healing view storage matrix under the race
+# detector: every view-building testdata script × corruption sites
+# (header, mid-record, tail, clean-sidecar) × Workers ∈ {1,2,8} must
+# scrub, symbolically repair and re-converge to the byte-identical
+# uncorrupted digests; crash kill-points during repair, re-append and
+# compaction commit must leave the view recoverable; plus the storage
+# layer's Verify/Scrubber/salvage/compaction unit suite. See
+# DESIGN.md "Self-healing view storage".
+scrub:
+	$(GO) test -race -run 'TestScrubCorruptionMatrix|TestRepairCrashKillPoints|TestRepairRecomputesInteriorHole|TestBackgroundScrubberHeals' .
+	$(GO) test -race -run 'TestVerify|TestScrubber|TestSalvage|TestCompact' ./internal/storage/
+
 # pool-safety runs the BatchPool's ownership test suite with poison
 # mode compiled in (-tags evadebug): typed double-Put panics, poisoned
 # use-after-Put reads, the 8-goroutine stress under the race detector,
@@ -120,9 +132,9 @@ pool-safety:
 # suite, a clean build, the test suite under the race detector, the
 # serial-vs-parallel differential matrix, the chaos differential
 # matrix, the multi-session serving-layer stress, the streaming
-# ingest kill-point matrix, the coverage floor, the fault-injection
-# stress pass, the allocation gate, the pool-safety suite and the
-# fuzz smokes.
+# ingest kill-point matrix, the self-healing scrub matrix, the
+# coverage floor, the fault-injection stress pass, the allocation
+# gate, the pool-safety suite and the fuzz smokes.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -134,6 +146,7 @@ check:
 	$(MAKE) chaos
 	$(MAKE) server-stress
 	$(MAKE) ingest-chaos
+	$(MAKE) scrub
 	$(MAKE) cover
 	$(MAKE) faults-stress
 	$(MAKE) alloc

@@ -26,6 +26,7 @@ func main() {
 	serverJSON := flag.String("server-json", "", "run the multi-session serving-layer load benchmark and write its JSON baseline to this path (e.g. BENCH_server.json)")
 	ingestJSON := flag.String("ingest-json", "", "run the streaming-ingestion benchmark and write its JSON baseline to this path (e.g. BENCH_ingest.json)")
 	allocJSON := flag.String("alloc-json", "", "run the pooled-batch allocation benchmark and write its JSON baseline to this path (e.g. BENCH_alloc.json)")
+	scrubJSON := flag.String("scrub-json", "", "run the view scrub/repair benchmark and write its JSON baseline to this path (e.g. BENCH_scrub.json)")
 	flag.Parse()
 
 	if *list {
@@ -127,6 +128,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *allocJSON)
+		return
+	}
+
+	if *scrubJSON != "" {
+		res, err := vbench.RunScrubBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*scrubJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *scrubJSON)
 		return
 	}
 

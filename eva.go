@@ -158,6 +158,15 @@ type Config struct {
 	// byte-identical either way; the knob exists for the differential
 	// suite and for allocation-profiling comparisons.
 	DisablePooling bool
+	// ScrubInterval enables the background view scrubber (DESIGN.md
+	// §15) with this *virtual-time* cadence: whenever at least this
+	// much simulated time has elapsed since the last pass, the next
+	// statement completion triggers a full checksum re-verification of
+	// every materialized view (quarantining corrupt records for
+	// symbolic repair). Under admission-control saturation the cadence
+	// degrades (doubles, bounded at 8×) instead of competing with
+	// queries. 0 disables the scrubber; System.Scrub always works.
+	ScrubInterval time.Duration
 }
 
 // ErrDeadlineExceeded is returned (wrapped) by Exec when a query
@@ -210,6 +219,9 @@ type System struct {
 	eng   *core.Engine
 	store *storage.Engine
 	ctl   *server.Controller // nil when admission control is off
+	// scrubber is the background view-verification loop; nil when
+	// Config.ScrubInterval is 0.
+	scrubber *storage.Scrubber
 
 	// qmu is the lifecycle lock: every executing statement holds it
 	// for reading, Close takes it for writing to drain in-flight
@@ -231,6 +243,12 @@ type System struct {
 	// streams tracks live ingest streams so Close drains them before
 	// tearing storage down. guarded by smu.
 	streams []*Stream
+
+	repairMu sync.Mutex
+	// repairs holds the pending symbolic repair task per quarantined
+	// view, queued by scrub detections and drained by System.Repair.
+	// guarded by repairMu.
+	repairs map[string]repairTask
 }
 
 // Internal accessors keeping the method bodies readable.
@@ -277,6 +295,25 @@ func Open(cfg Config) (*System, error) {
 			QueueTimeout:  cfg.QueueTimeout,
 		})
 	}
+	if cfg.ScrubInterval > 0 {
+		// The scrubber runs on the engine's virtual clock: statement
+		// completions nudge it (ExecStmt), it checks whether a full
+		// cadence has elapsed, and a due pass quiesces statements
+		// (qmu writer) before re-verifying every view.
+		s.scrubber = storage.NewScrubber(storage.ScrubConfig{
+			Interval: cfg.ScrubInterval,
+			Now:      s.clock().Total,
+			Busy:     s.ctl.Busy,
+			Pass: func() {
+				s.qmu.Lock()
+				defer s.qmu.Unlock()
+				if s.closed {
+					return
+				}
+				s.scrubPassLocked()
+			},
+		})
+	}
 	return s, nil
 }
 
@@ -288,6 +325,12 @@ func Open(cfg Config) (*System, error) {
 func (s *System) Close() error {
 	s.closeOnce.Do(func() {
 		s.markClosed()
+		// The scrubber stops after markClosed so an in-flight pass
+		// either finished before the flag flipped or sees closed and
+		// returns; its goroutine is joined before storage goes away.
+		if s.scrubber != nil {
+			s.scrubber.Close()
+		}
 		err := s.closeStreams()
 		if serr := s.store.Close(); err == nil {
 			err = serr
@@ -396,6 +439,13 @@ func (s *System) ExecStmt(stmt parser.Statement) (*Result, error) {
 	res, err := s.dispatch(stmt)
 	bd := s.clock().Since(snap)
 	g.Release(bd.Total())
+	if s.scrubber != nil {
+		// Virtual time just advanced; let the scrubber check whether a
+		// pass is due (non-blocking — the pass itself waits for qmu,
+		// which this statement still holds for reading, so it can only
+		// start once in-flight statements drain).
+		s.scrubber.Nudge()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -92,6 +92,13 @@ func (e *Engine) SetFaults(inj *faults.Injector) {
 	e.Store.SetInjector(inj)
 }
 
+// Injector returns the engine-wide fault injector installed by
+// SetFaults (nil when none). The eva layer's repair driver consults it
+// for the view:repair site family.
+func (e *Engine) Injector() *faults.Injector {
+	return e.faults
+}
+
 // Outcome is the result of running one SELECT through the pipeline.
 type Outcome struct {
 	Rows   *types.Batch

@@ -469,6 +469,18 @@ const (
 	// standing queries ("ingest:notify:<query>"): the (simulated)
 	// downstream notification of a completed alert window.
 	SiteIngestNotifyPrefix = "ingest:notify:"
+	// SiteViewScrubPrefix opens the scrub-pass-site family of
+	// materialized views ("view:scrub:<view>"): the background
+	// scrubber's full checksum re-verification of a view log.
+	SiteViewScrubPrefix = "view:scrub:"
+	// SiteViewRepairPrefix opens the repair-site family of materialized
+	// views ("view:repair:<view>"): the symbolic recomputation of a
+	// quarantined key range through the reuse machinery.
+	SiteViewRepairPrefix = "view:repair:"
+	// SiteViewCompactPrefix opens the compaction-site family of
+	// materialized views ("view:compact:<view>"): the generational
+	// rewrite of a fragmented or repaired view log.
+	SiteViewCompactPrefix = "view:compact:"
 	// SiteAny is the wildcard rule pattern matching every site.
 	SiteAny = "*"
 	// SiteUDFAny is the rule pattern matching every model site.
@@ -485,6 +497,12 @@ const (
 	SiteIngestCheckpointAny = SiteIngestCheckpointPrefix + "*"
 	// SiteIngestNotifyAny matches every alert-delivery site.
 	SiteIngestNotifyAny = SiteIngestNotifyPrefix + "*"
+	// SiteViewScrubAny matches every scrub-pass site.
+	SiteViewScrubAny = SiteViewScrubPrefix + "*"
+	// SiteViewRepairAny matches every view-repair site.
+	SiteViewRepairAny = SiteViewRepairPrefix + "*"
+	// SiteViewCompactAny matches every view-compaction site.
+	SiteViewCompactAny = SiteViewCompactPrefix + "*"
 )
 
 // Sites is the central registry of fault-site families. Exact lists
@@ -497,6 +515,7 @@ var Sites = struct {
 	Exact: []string{SiteDeadline},
 	Prefixes: []string{
 		SiteUDFPrefix, SiteViewWritePrefix,
+		SiteViewScrubPrefix, SiteViewRepairPrefix, SiteViewCompactPrefix,
 		SiteIngestAppendPrefix, SiteIngestCheckpointPrefix, SiteIngestNotifyPrefix,
 	},
 }
@@ -541,6 +560,16 @@ func SiteUDF(model string) string { return SiteUDFPrefix + strings.ToLower(model
 
 // SiteViewWrite is the log-append site of a materialized view.
 func SiteViewWrite(view string) string { return SiteViewWritePrefix + strings.ToLower(view) }
+
+// SiteViewScrub is the scrub-pass site of a materialized view.
+func SiteViewScrub(view string) string { return SiteViewScrubPrefix + strings.ToLower(view) }
+
+// SiteViewRepair is the quarantine-repair site of a materialized view.
+func SiteViewRepair(view string) string { return SiteViewRepairPrefix + strings.ToLower(view) }
+
+// SiteViewCompact is the generational-compaction site of a
+// materialized view.
+func SiteViewCompact(view string) string { return SiteViewCompactPrefix + strings.ToLower(view) }
 
 // SiteIngestAppend is the durable live-append site of a streaming
 // video table.

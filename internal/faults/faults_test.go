@@ -357,6 +357,7 @@ func TestSitesRegistryCoversConstants(t *testing.T) {
 	wantExact := []string{SiteDeadline}
 	wantPrefixes := []string{
 		SiteUDFPrefix, SiteViewWritePrefix,
+		SiteViewScrubPrefix, SiteViewRepairPrefix, SiteViewCompactPrefix,
 		SiteIngestAppendPrefix, SiteIngestCheckpointPrefix, SiteIngestNotifyPrefix,
 	}
 	if fmt.Sprint(Sites.Exact) != fmt.Sprint(wantExact) {

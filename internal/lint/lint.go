@@ -204,6 +204,9 @@ func DefaultAnalyzers(modPath string) []Analyzer {
 		NewTrackedGoroutine(
 			qp("internal/server/..."),
 			qp("internal/ingest/..."),
+			// The storage scrubber spawns a background goroutine; it must
+			// go through server.Group like every other long-lived spawn.
+			qp("internal/storage/..."),
 			qp("internal/lint/testdata/src/trackedgoroutine/..."),
 		),
 		NewWallTime(append([]string{qp("internal/lint/testdata/src/walltime/...")}, deterministic...)...),

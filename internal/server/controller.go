@@ -98,6 +98,19 @@ func (c *Controller) SetWedgeGuard(after func(time.Duration) <-chan time.Time) {
 	c.after = after
 }
 
+// Busy reports whether every concurrency token is in use — the
+// saturation signal background maintenance (the view scrubber) checks
+// so it degrades its cadence instead of competing with admitted
+// queries. A nil controller is never busy.
+func (c *Controller) Busy() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inUse >= c.cfg.MaxConcurrent
+}
+
 // Grant is one admitted query's concurrency token. Release it exactly
 // once with the query's simulated cost; releasing advances the
 // controller's virtual clock, expires overdue waiters and hands the

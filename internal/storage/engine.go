@@ -189,8 +189,10 @@ func (e *Engine) DropViews() error {
 		if err := os.Remove(v.path); err != nil && !os.IsNotExist(err) {
 			return err
 		}
-		if err := os.Remove(cleanPath(v.path)); err != nil && !os.IsNotExist(err) {
-			return err
+		for _, side := range []string{cleanPath(v.path), quarPath(v.path), compactPath(v.path)} {
+			if err := os.Remove(side); err != nil && !os.IsNotExist(err) {
+				return err
+			}
 		}
 		delete(e.views, name)
 	}

@@ -206,8 +206,15 @@ func TestViewSidecarStaleFallsBack(t *testing.T) {
 	if trusted != 0 {
 		t.Fatalf("corrupt prefix still trusted %d records", trusted)
 	}
-	if v4.Rows() != 0 || v4.RecoveredBytes() == 0 {
-		t.Fatalf("corrupt prefix: rows=%d recovered=%d, want 0 rows and a recovered tail", v4.Rows(), v4.RecoveredBytes())
+	// The fallback scan salvages around the corrupt first record: the
+	// second append's rows and both key records survive, and the lost
+	// range is quarantined.
+	if v4.Rows() != 3 || v4.RecoveredBytes() != 0 {
+		t.Fatalf("corrupt prefix: rows=%d recovered=%d, want 3 salvaged rows and no torn tail", v4.Rows(), v4.RecoveredBytes())
+	}
+	q := v4.Quarantine()
+	if q == nil || len(q.Ranges) != 1 {
+		t.Fatalf("corrupt prefix quarantine = %+v, want one lost range", q)
 	}
 }
 

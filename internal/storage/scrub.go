@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"eva/internal/server"
+)
+
+// VerifyViews runs one full scrub pass: every open view is re-read
+// from disk and every record re-hashed (Verify), in sorted name order
+// for determinism. Per-view errors (injected scrub faults, I/O
+// failures) are collected per result rather than aborting the pass —
+// one sick view must not shield the others from verification.
+func (e *Engine) VerifyViews() []ScrubResult {
+	e.mu.Lock()
+	views := make([]*View, 0, len(e.views))
+	for _, v := range e.views {
+		views = append(views, v)
+	}
+	e.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].name < views[j].name })
+	out := make([]ScrubResult, 0, len(views))
+	for _, v := range views {
+		res, err := v.Verify()
+		if err != nil {
+			res.Name = v.name
+			res.Err = err.Error()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// ScrubConfig configures the background scrubber. All time is virtual:
+// Now is the system's virtual clock and Interval a virtual-time
+// cadence, so scrub scheduling is deterministic and replayable like
+// everything else in the engine (no wall clock anywhere).
+type ScrubConfig struct {
+	// Interval is the base virtual-time cadence between passes.
+	Interval time.Duration
+	// Now reads the virtual clock.
+	Now func() time.Duration
+	// Busy reports whether the serving layer is saturated; a due pass
+	// observed busy degrades (cadence doubles, bounded) instead of
+	// stealing cycles from queries — degrade-before-shed, scrubs are
+	// never dropped outright.
+	Busy func() bool
+	// Pass runs one scrub pass. The caller owns locking: the eva layer
+	// passes a closure that quiesces statement execution, verifies
+	// every view, and hands detections to symbolic repair.
+	Pass func()
+}
+
+// ScrubStats counts a scrubber's lifetime activity.
+type ScrubStats struct {
+	// Passes is the number of completed scrub passes.
+	Passes int
+	// Degraded counts due passes deferred because the system was busy.
+	Degraded int
+}
+
+// maxDegradeFactor bounds how far a busy system can stretch the scrub
+// cadence: at most 8× the base interval, so scrubbing degrades under
+// load but is never starved forever.
+const maxDegradeFactor = 8
+
+// Scrubber drives periodic view verification off the virtual clock.
+// It owns one tracked goroutine (server.Group — shutdown can prove it
+// exited) that sleeps on a channel, not a timer: the virtual clock
+// only advances when queries run, so the scrubber is woken by Nudge
+// after each statement, checks whether a pass is due, and otherwise
+// parks. An idle system neither scrubs nor spins.
+type Scrubber struct {
+	cfg  ScrubConfig
+	g    server.Group
+	wake chan struct{}
+	quit chan struct{}
+
+	statMu sync.Mutex
+	stats  ScrubStats
+}
+
+// NewScrubber starts the background scrubber. cfg.Interval must be
+// positive and Now/Pass non-nil; Busy may be nil (never busy).
+func NewScrubber(cfg ScrubConfig) *Scrubber {
+	if cfg.Busy == nil {
+		cfg.Busy = func() bool { return false }
+	}
+	s := &Scrubber{
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	// Anchor the first deadline before the goroutine starts so the
+	// cadence is measured from construction, not from whenever the
+	// scheduler first runs the loop.
+	next := cfg.Now() + cfg.Interval
+	s.g.Go(func() { s.loop(next) })
+	return s
+}
+
+// Nudge signals the scrubber that virtual time may have advanced
+// (e.g. a statement just finished). Non-blocking and cheap; redundant
+// nudges coalesce in the 1-slot channel.
+func (s *Scrubber) Nudge() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns a snapshot of the scrubber's activity counters.
+func (s *Scrubber) Stats() ScrubStats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
+
+// Close stops the scrubber and waits for its goroutine to exit.
+// Idempotent-unsafe: call exactly once (the owning System's Close
+// already runs under a once).
+func (s *Scrubber) Close() {
+	close(s.quit)
+	s.g.Wait()
+}
+
+func (s *Scrubber) loop(next time.Duration) {
+	interval := s.cfg.Interval
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.wake:
+		}
+		if s.cfg.Now() < next {
+			continue
+		}
+		if s.cfg.Busy() {
+			// Degrade before shedding: back the cadence off (bounded)
+			// and try again; the pass is deferred, never dropped.
+			if interval < maxDegradeFactor*s.cfg.Interval {
+				interval *= 2
+			}
+			next = s.cfg.Now() + interval
+			s.statMu.Lock()
+			s.stats.Degraded++
+			s.statMu.Unlock()
+			continue
+		}
+		interval = s.cfg.Interval
+		s.cfg.Pass()
+		next = s.cfg.Now() + interval
+		s.statMu.Lock()
+		s.stats.Passes++
+		s.statMu.Unlock()
+	}
+}

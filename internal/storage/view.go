@@ -41,6 +41,14 @@ type View struct {
 	dead      bool                // guarded by mu; simulated crash hit this view
 	recovered int64               // guarded by mu; torn-tail bytes dropped at open
 	inj       *faults.Injector    // guarded by mu
+	// quar records the byte ranges lost to corruption salvage, pending
+	// symbolic repair and compaction; nil when the log is whole.
+	// guarded by mu.
+	quar *Quarantine
+	// holes accumulates lost ranges during one replay/salvage scan; it
+	// is working state for replay, promoted into quar by the caller.
+	// guarded by mu (pre-publish in openView).
+	holes []LostRange
 	// openTrusted / openVerified count the records the last open
 	// accepted from the clean-sidecar verified prefix (checksum check
 	// skipped) versus fully verified. guarded by mu.
@@ -146,10 +154,13 @@ func writeCleanSidecar(path string, data []byte, trusted int64) error {
 }
 
 // writeCleanSidecarLocked refreshes the sidecar from the live file
-// handle's current footprint. Best-effort: a failure only costs the
-// next open a full scan. Callers hold mu.
+// handle's current footprint — bounded at the first quarantined hole,
+// which the next open must re-verify around rather than trust.
+// Best-effort: a failure only costs the next open a full scan. Callers
+// hold mu.
 func (v *View) writeCleanSidecarLocked() {
-	if v.dead || v.footprint < recSumLen {
+	bound := v.trustedBoundLocked()
+	if v.dead || bound < recSumLen {
 		return
 	}
 	tail := make([]byte, recSumLen)
@@ -158,12 +169,12 @@ func (v *View) writeCleanSidecarLocked() {
 		return
 	}
 	defer f.Close()
-	if _, err := f.ReadAt(tail, v.footprint-recSumLen); err != nil {
+	if _, err := f.ReadAt(tail, bound-recSumLen); err != nil {
 		return
 	}
 	buf := binary.LittleEndian.AppendUint32(make([]byte, 0, cleanLen), cleanMagic)
 	buf = append(buf, cleanVersion)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.footprint))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(bound))
 	buf = append(buf, tail...)
 	buf = binary.LittleEndian.AppendUint64(buf, xxhash.Sum64(buf, 0))
 	tmp := cleanPath(v.path) + ".tmp"
@@ -188,6 +199,10 @@ func openView(path, name string, schema types.Schema, keyCols []string, inj *fau
 	for _, kc := range keyCols {
 		v.keyIdx = append(v.keyIdx, schema.IndexOf(kc))
 	}
+	// A crash mid-compaction can leave a partial next generation behind;
+	// it was never committed (the rename is the commit point), so it is
+	// garbage.
+	_ = os.Remove(compactPath(path))
 	if data, err := os.ReadFile(path); err == nil {
 		trusted := readCleanSidecar(path, data)
 		valid, err := v.replay(data, trusted)
@@ -198,23 +213,39 @@ func openView(path, name string, schema types.Schema, keyCols []string, inj *fau
 			v.resetReplayState()
 			valid, err = v.replay(data, 0)
 		}
-		if err != nil {
+		if errors.Is(err, errHeaderCorrupt) {
+			// The header itself is unreadable, so no record can be
+			// attributed to a schema: the whole generation is lost.
+			// Views are derived data — quarantine everything and start
+			// a fresh log rather than dying.
+			v.resetReplayState()
+			v.holes = []LostRange{{Lo: 0, Hi: int64(len(data))}} // lint:nolock pre-publish (openView)
+			if terr := os.Truncate(path, 0); terr != nil {
+				return nil, fmt.Errorf("storage: view %s: reset corrupt header: %w", name, terr)
+			}
+			// The old sidecar described the lost generation.
+			_ = os.Remove(cleanPath(path))
+			valid, data = 0, nil
+		} else if err != nil {
 			return nil, fmt.Errorf("storage: view %s: %w", name, err)
 		}
 		if valid < len(data) {
 			// Torn tail (crash mid-append): drop the incomplete suffix
-			// so the log ends on a record boundary again.
+			// so the log ends on a record boundary again. Mid-log holes
+			// before valid stay on disk — they are quarantined, and
+			// truncating them would shift every later record's LSN.
 			if err := os.Truncate(path, int64(valid)); err != nil {
 				return nil, fmt.Errorf("storage: view %s: truncate torn tail: %w", name, err)
 			}
 			v.recovered = int64(len(data) - valid)
 		}
 		v.footprint = int64(valid)
-		// Refresh the sidecar to the recovered prefix so the *next*
-		// open's verification cost is bounded by its tail, not by the
-		// whole log. Best-effort: failure costs a full scan, not
+		v.adoptHolesLocked() // lint:nolock pre-publish (openView)
+		// Refresh the sidecar to the verified prefix — up to the first
+		// hole when quarantined — so the *next* open's verification
+		// cost is bounded. Best-effort: failure costs a full scan, not
 		// correctness.
-		_ = writeCleanSidecar(path, data, v.footprint)
+		_ = writeCleanSidecar(path, data, v.trustedBoundLocked())
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
@@ -268,24 +299,31 @@ func (v *View) resetReplayState() {
 	v.rowsByKey = map[string][]int{}           // lint:nolock pre-publish (openView)
 	v.processed = map[string]struct{}{}        // lint:nolock pre-publish (openView)
 	v.openTrusted, v.openVerified = 0, 0       // lint:nolock pre-publish (openView)
+	v.holes = nil                              // lint:nolock pre-publish (openView)
 }
 
-// replay rebuilds in-memory state from the log. It returns the number
-// of bytes holding the recoverable prefix: header parse errors and
-// mid-file corruption are hard errors, while an incomplete or
-// checksum-failing *tail* record (the signature of a crash mid-append)
-// stops replay at the last good boundary so the caller can truncate.
-// Records that end at or before trusted (the sidecar's clean prefix)
-// skip the checksum re-verification; any failure inside that region is
-// reported as errTrustedCorrupt so the caller can fall back to a full
-// verifying scan. It runs inside openView before the view is
-// published, so it may touch guarded fields without the lock.
+// replay rebuilds in-memory state from the log. It returns the byte
+// offset past the last record it accepted. An unreadable header is
+// reported as errHeaderCorrupt (the whole generation is lost — views
+// are derived data, so the caller salvages by starting over). A record
+// failing its structural checks or checksum mid-log is *salvaged
+// around*: replay resynchronizes to the next checksum-valid record
+// boundary, records the skipped bytes in v.holes, and keeps going, so
+// one flipped bit quarantines one record instead of killing the view.
+// Only when no valid record follows — the signature of a crash
+// mid-append — does replay stop at the last good boundary so the
+// caller can truncate the torn tail. Records that end at or before
+// trusted (the sidecar's clean prefix) skip the checksum
+// re-verification; any failure inside that region is reported as
+// errTrustedCorrupt so the caller can fall back to a full verifying
+// scan. It runs inside openView before the view is published, so it
+// may touch guarded fields without the lock.
 func (v *View) replay(data []byte, trusted int64) (int, error) {
 	if len(data) < 6 || binary.LittleEndian.Uint32(data) != viewMagic {
-		return 0, fmt.Errorf("bad view header")
+		return 0, errHeaderCorrupt
 	}
 	if data[4] != viewVersion {
-		return 0, fmt.Errorf("unsupported view version %d", data[4])
+		return 0, fmt.Errorf("unsupported view version %d: %w", data[4], errHeaderCorrupt)
 	}
 	off := 5
 	ncols := int(data[off])
@@ -293,13 +331,13 @@ func (v *View) replay(data []byte, trusted int64) (int, error) {
 	var schema types.Schema
 	for i := 0; i < ncols; i++ {
 		if off+2 > len(data) {
-			return 0, fmt.Errorf("truncated schema")
+			return 0, errHeaderCorrupt
 		}
 		kind := types.Kind(data[off])
 		nameLen := int(data[off+1])
 		off += 2
 		if off+nameLen > len(data) {
-			return 0, fmt.Errorf("truncated column name")
+			return 0, errHeaderCorrupt
 		}
 		schema = append(schema, types.Column{Name: string(data[off : off+nameLen]), Kind: kind})
 		off += nameLen
@@ -308,7 +346,7 @@ func (v *View) replay(data []byte, trusted int64) (int, error) {
 		return 0, fmt.Errorf("schema mismatch: file has %s, want %s", schema, v.schema)
 	}
 	if off >= len(data) {
-		return 0, fmt.Errorf("truncated key columns")
+		return 0, errHeaderCorrupt
 	}
 	nkeys := int(data[off])
 	off++
@@ -317,12 +355,12 @@ func (v *View) replay(data []byte, trusted int64) (int, error) {
 	}
 	for i := 0; i < nkeys; i++ {
 		if off >= len(data) {
-			return 0, fmt.Errorf("truncated key column length")
+			return 0, errHeaderCorrupt
 		}
 		klen := int(data[off])
 		off++
 		if off+klen > len(data) {
-			return 0, fmt.Errorf("truncated key column name")
+			return 0, errHeaderCorrupt
 		}
 		off += klen // names validated via schema equality; skip
 	}
@@ -333,48 +371,41 @@ func (v *View) replay(data []byte, trusted int64) (int, error) {
 		return 0, errTrustedCorrupt
 	}
 	for off < len(data) {
-		// A record that does not fit or fails its checksum is a torn
-		// tail: recover the prefix. (Corruption strictly *inside* the
-		// file followed by valid records cannot be distinguished from
-		// a tear cheaply, and truncating there still yields a
-		// consistent prefix — idempotent re-STORE refills the rest.)
 		inTrusted := int64(off) < trusted
-		if off+recHeaderLen+recSumLen > len(data) {
+		end, ok := recordBounds(data, off)
+		fastPath := ok && inTrusted && int64(end) <= trusted
+		if ok && !fastPath {
+			// Verified-prefix fast path skips this hash: records
+			// entirely inside the sidecar's clean prefix were verified
+			// by the open that wrote the sidecar. (That skip is also
+			// the fast path's blind spot — bitrot landing inside the
+			// trusted prefix after the sidecar was written passes this
+			// scan; Verify's full re-hash is what catches it.)
+			sum := binary.LittleEndian.Uint64(data[end-recSumLen:])
+			ok = xxhash.Sum64(data[off:end-recSumLen], 0) == sum
+		}
+		if !ok {
 			if inTrusted {
 				return 0, errTrustedCorrupt
 			}
-			return off, nil
+			// Bad record outside the trusted prefix: try to salvage a
+			// valid suffix. With none, this is a torn tail (crash
+			// mid-append) — stop at the last good boundary so the
+			// caller truncates. With one, the skipped bytes are a
+			// mid-log hole: quarantine them and keep replaying.
+			next := resyncRecord(data, off+1)
+			if next < 0 {
+				return off, nil
+			}
+			v.holes = append(v.holes, LostRange{Lo: int64(off), Hi: int64(next)}) // lint:nolock pre-publish (openView)
+			off = next
+			continue
 		}
 		kind := data[off]
 		count := int(binary.LittleEndian.Uint32(data[off+1:]))
-		paylen := int(binary.LittleEndian.Uint32(data[off+5:]))
-		if paylen < 0 || count < 0 {
-			if inTrusted {
-				return 0, errTrustedCorrupt
-			}
-			return off, nil
-		}
-		end := off + recHeaderLen + paylen + recSumLen
-		if end < off || end > len(data) {
-			if inTrusted {
-				return 0, errTrustedCorrupt
-			}
-			return off, nil
-		}
-		if inTrusted && int64(end) <= trusted {
-			// Verified-prefix fast path: the record lies entirely
-			// inside the sidecar's clean prefix, so the checksum was
-			// verified by the open that wrote the sidecar — skip the
-			// re-verification and only decode for the index.
+		if fastPath {
 			v.openTrusted++ // lint:nolock pre-publish (openView)
 		} else {
-			sum := binary.LittleEndian.Uint64(data[end-recSumLen:])
-			if xxhash.Sum64(data[off:end-recSumLen], 0) != sum {
-				if inTrusted {
-					return 0, errTrustedCorrupt
-				}
-				return off, nil
-			}
 			v.openVerified++
 		}
 		payload := data[off+recHeaderLen : end-recSumLen]
@@ -392,6 +423,57 @@ func (v *View) replay(data []byte, trusted int64) (int, error) {
 		off = end
 	}
 	return off, nil
+}
+
+// recordBounds validates the record header at off structurally,
+// returning the offset past the record. ok is false when the record
+// does not fit in data or its header is implausible.
+func recordBounds(data []byte, off int) (end int, ok bool) {
+	if off+recHeaderLen+recSumLen > len(data) {
+		return 0, false
+	}
+	kind := data[off]
+	if kind != recRows && kind != recKeys {
+		return 0, false
+	}
+	count := int(binary.LittleEndian.Uint32(data[off+1:]))
+	paylen := int(binary.LittleEndian.Uint32(data[off+5:]))
+	if paylen < 0 || count < 0 {
+		return 0, false
+	}
+	end = off + recHeaderLen + paylen + recSumLen
+	if end < off || end > len(data) {
+		return 0, false
+	}
+	return end, true
+}
+
+// checkRecord validates the record at off structurally and against its
+// checksum, returning the offset past it.
+func checkRecord(data []byte, off int) (end int, sumOK bool) {
+	end, ok := recordBounds(data, off)
+	if !ok {
+		return 0, false
+	}
+	sum := binary.LittleEndian.Uint64(data[end-recSumLen:])
+	if xxhash.Sum64(data[off:end-recSumLen], 0) != sum {
+		return 0, false
+	}
+	return end, true
+}
+
+// resyncRecord scans forward from off for the next byte offset holding
+// a checksum-valid record, or -1 when none exists. A 64-bit checksum
+// over the full candidate record makes a false resynchronization point
+// (random bytes that both parse as a header and hash correctly)
+// vanishingly unlikely.
+func resyncRecord(data []byte, off int) int {
+	for ; off+recHeaderLen+recSumLen <= len(data); off++ {
+		if _, ok := checkRecord(data, off); ok {
+			return off
+		}
+	}
+	return -1
 }
 
 // replayRecord decodes one verified record payload into memory.

@@ -2,6 +2,7 @@ package udf
 
 import (
 	"sort"
+	"strings"
 	"sync"
 
 	"eva/internal/symbolic"
@@ -104,6 +105,33 @@ func (m *Manager) Commit(sig Signature, q symbolic.DNF) {
 	defer m.mu.Unlock()
 	e := m.ensureLocked(sig)
 	e.Agg = symbolic.Union(e.Agg, q)
+}
+
+// Constrain intersects the signature's aggregated predicate with a
+// survival predicate: p_u ← INTER(p_u, s). Corruption quarantine calls
+// it when a view loses rows — the aggregated predicate must shrink to
+// what the view can still prove it holds, so the optimizer's DIFF
+// residual re-plans exactly the lost tuples (and the next STORE
+// re-commits them via the normal Union path).
+func (m *Manager) Constrain(sig Signature, s symbolic.DNF) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.ensureLocked(sig)
+	e.Agg = symbolic.Inter(e.Agg, s)
+}
+
+// EntryByView returns a snapshot of the entry backed by the named
+// materialized view, if any — the reverse mapping corruption repair
+// needs (storage reports a view name; the manager owns the predicate).
+func (m *Manager) EntryByView(view string) (Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.entries {
+		if strings.EqualFold(e.ViewName, view) {
+			return *e, true
+		}
+	}
+	return Entry{}, false
 }
 
 // Reset drops all entries (a fresh workload run).

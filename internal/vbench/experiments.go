@@ -64,6 +64,7 @@ func Experiments() []Experiment {
 		{ID: "server", Title: "Serving layer — open-loop multi-session load", Paper: "engine extension (DESIGN.md §11): admitted/shed counts, virtual queue-wait percentiles, throughput", Run: ExpServer},
 		{ID: "ingest", Title: "Streaming ingestion — throughput, checkpoint lag, recovery", Paper: "engine extension (DESIGN.md §12): frames/s, checkpoint lag percentiles, reopen time vs log length", Run: ExpIngest},
 		{ID: "alloc", Title: "Pooled batches — warm hot-path allocations per row", Paper: "engine extension (DESIGN.md §13): marginal allocs/row ~0 on the warm view-served path, pooled/unpooled digests identical", Run: ExpAlloc},
+		{ID: "scrub", Title: "Self-healing views — salvage, symbolic repair, compaction", Paper: "engine extension (DESIGN.md §15): rows salvaged vs recomputed per corruption site, repair simtime percentiles, compaction amplification", Run: ExpScrub},
 	}
 }
 
