@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check bench faults-stress differential chaos server-stress ingest-chaos cover fuzz-smoke alloc pool-safety scrub
+.PHONY: build test race lint check bench faults-stress differential chaos server-stress ingest-chaos cover fuzz-smoke alloc pool-safety scrub evict
 
 build:
 	$(GO) build ./...
@@ -120,6 +120,18 @@ scrub:
 	$(GO) test -race -run 'TestScrubCorruptionMatrix|TestRepairCrashKillPoints|TestRepairRecomputesInteriorHole|TestBackgroundScrubberHeals' .
 	$(GO) test -race -run 'TestVerify|TestScrubber|TestSalvage|TestCompact' ./internal/storage/
 
+# evict runs the disk-pressure survival matrix under the race
+# detector: view-building testdata scripts × storage-budget levels ×
+# injected ENOSPC schedules × Workers ∈ {1,2,8} must answer
+# baseline-identical rows with no surviving tombstones; plus the
+# storage layer's budget/eviction/log-retention unit suite (kill-point
+# sweep, evict-retry, tail-log truncation) and the checkpoint
+# retention tests. See DESIGN.md "Disk-pressure survival".
+evict:
+	$(GO) test -race -run TestEvictChaosMatrix .
+	$(GO) test -race -run 'TestEvict|TestDiskBudget|TestDiskFull|TestReclaim|TestBudgetDenial|TestWatermarkLogRetention|TestOpenTailLog' ./internal/storage/
+	$(GO) test -race -run TestCheckpoint ./internal/ingest/
+
 # pool-safety runs the BatchPool's ownership test suite with poison
 # mode compiled in (-tags evadebug): typed double-Put panics, poisoned
 # use-after-Put reads, the 8-goroutine stress under the race detector,
@@ -133,7 +145,8 @@ pool-safety:
 # serial-vs-parallel differential matrix, the chaos differential
 # matrix, the multi-session serving-layer stress, the streaming
 # ingest kill-point matrix, the self-healing scrub matrix, the
-# coverage floor, the fault-injection stress pass, the allocation
+# disk-pressure evict matrix, the coverage floor, the
+# fault-injection stress pass, the allocation
 # gate, the pool-safety suite and the fuzz smokes.
 check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -147,6 +160,7 @@ check:
 	$(MAKE) server-stress
 	$(MAKE) ingest-chaos
 	$(MAKE) scrub
+	$(MAKE) evict
 	$(MAKE) cover
 	$(MAKE) faults-stress
 	$(MAKE) alloc

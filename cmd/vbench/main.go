@@ -27,6 +27,7 @@ func main() {
 	ingestJSON := flag.String("ingest-json", "", "run the streaming-ingestion benchmark and write its JSON baseline to this path (e.g. BENCH_ingest.json)")
 	allocJSON := flag.String("alloc-json", "", "run the pooled-batch allocation benchmark and write its JSON baseline to this path (e.g. BENCH_alloc.json)")
 	scrubJSON := flag.String("scrub-json", "", "run the view scrub/repair benchmark and write its JSON baseline to this path (e.g. BENCH_scrub.json)")
+	evictJSON := flag.String("evict-json", "", "run the disk-pressure eviction benchmark and write its JSON baseline to this path (e.g. BENCH_evict.json)")
 	flag.Parse()
 
 	if *list {
@@ -147,6 +148,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *scrubJSON)
+		return
+	}
+
+	if *evictJSON != "" {
+		res, err := vbench.RunEvictBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*evictJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *evictJSON)
 		return
 	}
 

@@ -33,6 +33,7 @@ import (
 	"eva/internal/baselines"
 	"eva/internal/catalog"
 	"eva/internal/core"
+	"eva/internal/costs"
 	"eva/internal/exec"
 	"eva/internal/faults"
 	"eva/internal/optimizer"
@@ -167,6 +168,22 @@ type Config struct {
 	// degrades (doubles, bounded at 8×) instead of competing with
 	// queries. 0 disables the scrubber; System.Scrub always works.
 	ScrubInterval time.Duration
+	// DiskBudgetBytes caps the total on-disk bytes of every durable
+	// artifact — view logs and their sidecars, ingest watermark and
+	// checkpoint logs (DESIGN.md §16). When an append does not fit, the
+	// engine degrades along the reclaim ladder (compact fragmented
+	// logs, then evict whole cold views, lowest benefit first) and
+	// retries; only when nothing evictable remains does the query fail
+	// with ErrDiskBudget. Evicted views re-materialize automatically
+	// through the ordinary optimizer path on the next query that needs
+	// them. 0 means unlimited (usage still tracked; see StorageStats).
+	DiskBudgetBytes int64
+	// EvictInterval enables the background evictor with this
+	// *virtual-time* cadence: whenever the disk budget sits above its
+	// high-water mark (90%), the next due pass reclaims down to 70%,
+	// smoothing disk pressure out of the append hot path. 0 disables
+	// background eviction; the synchronous evict-retry path still runs.
+	EvictInterval time.Duration
 }
 
 // ErrDeadlineExceeded is returned (wrapped) by Exec when a query
@@ -186,6 +203,9 @@ var (
 	// ErrMemoryBudget is returned (wrapped) when a query exceeds
 	// Config.MemoryBudget even after degradation.
 	ErrMemoryBudget = server.ErrMemoryBudget
+	// ErrDiskBudget is returned (wrapped) when a durable write exceeds
+	// Config.DiskBudgetBytes even after the eviction ladder ran dry.
+	ErrDiskBudget = storage.ErrDiskBudget
 )
 
 // AdmissionStats is a snapshot of admission-control outcomes:
@@ -222,6 +242,9 @@ type System struct {
 	// scrubber is the background view-verification loop; nil when
 	// Config.ScrubInterval is 0.
 	scrubber *storage.Scrubber
+	// evictor is the background disk-pressure reclaim loop; nil when
+	// Config.EvictInterval is 0.
+	evictor *storage.Scrubber
 
 	// qmu is the lifecycle lock: every executing statement holds it
 	// for reading, Close takes it for writing to drain in-flight
@@ -288,6 +311,17 @@ func Open(cfg Config) (*System, error) {
 		store: store,
 		rec:   baselines.NewRecycler(),
 	}
+	if cfg.DiskBudgetBytes > 0 {
+		store.SetBudget(storage.NewDiskBudget(cfg.DiskBudgetBytes))
+	}
+	// The eviction policy is installed unconditionally: injected
+	// disk:full faults drive the reclaim ladder even without a budget,
+	// and the upcall must retract the evicted view's predicate either
+	// way.
+	store.SetEvictPolicy(s.benefitRank, s.viewEvicted)
+	store.SetRetryCharge(func(attempt int) {
+		s.clock().Charge(simclock.CatRetry, costs.RetryBackoff(attempt))
+	})
 	if cfg.MaxConcurrent > 0 {
 		s.ctl = server.NewController(server.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
@@ -314,6 +348,25 @@ func Open(cfg Config) (*System, error) {
 			},
 		})
 	}
+	if cfg.EvictInterval > 0 {
+		// The background evictor reuses the scrubber chassis: virtual
+		// cadence, statement-completion nudges, busy-aware degradation.
+		// Its pass quiesces statements so an eviction never races an
+		// executing query's view snapshot.
+		s.evictor = storage.NewScrubber(storage.ScrubConfig{
+			Interval: cfg.EvictInterval,
+			Now:      s.clock().Total,
+			Busy:     s.ctl.Busy,
+			Pass: func() {
+				s.qmu.Lock()
+				defer s.qmu.Unlock()
+				if s.closed {
+					return
+				}
+				s.store.ReclaimOverHighWater()
+			},
+		})
+	}
 	return s, nil
 }
 
@@ -330,6 +383,9 @@ func (s *System) Close() error {
 		// returns; its goroutine is joined before storage goes away.
 		if s.scrubber != nil {
 			s.scrubber.Close()
+		}
+		if s.evictor != nil {
+			s.evictor.Close()
 		}
 		err := s.closeStreams()
 		if serr := s.store.Close(); err == nil {
@@ -445,6 +501,9 @@ func (s *System) ExecStmt(stmt parser.Statement) (*Result, error) {
 		// which this statement still holds for reading, so it can only
 		// start once in-flight statements drain).
 		s.scrubber.Nudge()
+	}
+	if s.evictor != nil {
+		s.evictor.Nudge()
 	}
 	if err != nil {
 		return nil, err

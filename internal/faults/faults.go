@@ -481,6 +481,17 @@ const (
 	// materialized views ("view:compact:<view>"): the generational
 	// rewrite of a fragmented or repaired view log.
 	SiteViewCompactPrefix = "view:compact:"
+	// SiteViewEvictPrefix opens the eviction-site family of
+	// materialized views ("view:evict:<view>"): the tombstone write,
+	// log deletion and fresh-log rebirth that reclaim a cold view's
+	// disk footprint. A Crash rule here simulates dying mid-eviction.
+	SiteViewEvictPrefix = "view:evict:"
+	// SiteDiskFullPrefix opens the out-of-space family
+	// ("disk:full:<write-site>"): every durable write site has a
+	// shadow member here, so a rule can make a specific log's append,
+	// compaction or checkpoint write fail with ENOSPC without also
+	// corrupting it the way the underlying write-site family does.
+	SiteDiskFullPrefix = "disk:full:"
 	// SiteAny is the wildcard rule pattern matching every site.
 	SiteAny = "*"
 	// SiteUDFAny is the rule pattern matching every model site.
@@ -503,6 +514,10 @@ const (
 	SiteViewRepairAny = SiteViewRepairPrefix + "*"
 	// SiteViewCompactAny matches every view-compaction site.
 	SiteViewCompactAny = SiteViewCompactPrefix + "*"
+	// SiteViewEvictAny matches every view-eviction site.
+	SiteViewEvictAny = SiteViewEvictPrefix + "*"
+	// SiteDiskFullAny matches every shadow out-of-space site.
+	SiteDiskFullAny = SiteDiskFullPrefix + "*"
 )
 
 // Sites is the central registry of fault-site families. Exact lists
@@ -516,6 +531,7 @@ var Sites = struct {
 	Prefixes: []string{
 		SiteUDFPrefix, SiteViewWritePrefix,
 		SiteViewScrubPrefix, SiteViewRepairPrefix, SiteViewCompactPrefix,
+		SiteViewEvictPrefix, SiteDiskFullPrefix,
 		SiteIngestAppendPrefix, SiteIngestCheckpointPrefix, SiteIngestNotifyPrefix,
 	},
 }
@@ -570,6 +586,16 @@ func SiteViewRepair(view string) string { return SiteViewRepairPrefix + strings.
 // SiteViewCompact is the generational-compaction site of a
 // materialized view.
 func SiteViewCompact(view string) string { return SiteViewCompactPrefix + strings.ToLower(view) }
+
+// SiteViewEvict is the whole-view eviction site of a materialized
+// view.
+func SiteViewEvict(view string) string { return SiteViewEvictPrefix + strings.ToLower(view) }
+
+// SiteDiskFull is the shadow out-of-space site of a durable write
+// site: the member name embeds the underlying site, so one rule can
+// starve a single log ("disk:full:view:write:v_car") or the whole
+// disk ("disk:full:*").
+func SiteDiskFull(site string) string { return SiteDiskFullPrefix + site }
 
 // SiteIngestAppend is the durable live-append site of a streaming
 // video table.

@@ -312,6 +312,9 @@ func TestRegisteredSite(t *testing.T) {
 	valid := []string{
 		SiteUDF("YoloTiny"),
 		SiteViewWrite("udf_x_frame"),
+		SiteViewEvict("udf_x_frame"),
+		SiteDiskFull(SiteViewWrite("udf_x_frame")),
+		SiteDiskFull(SiteIngestAppend("traffic")),
 		SiteIngestAppend("traffic"),
 		SiteIngestCheckpoint("redtrucks"),
 		SiteIngestNotify("redtrucks"),
@@ -319,6 +322,8 @@ func TestRegisteredSite(t *testing.T) {
 		SiteAny,
 		SiteUDFAny,
 		SiteViewWriteAny,
+		SiteViewEvictAny,
+		SiteDiskFullAny,
 		SiteIngestAny,
 		SiteIngestAppendAny,
 		SiteIngestCheckpointAny,
@@ -358,6 +363,7 @@ func TestSitesRegistryCoversConstants(t *testing.T) {
 	wantPrefixes := []string{
 		SiteUDFPrefix, SiteViewWritePrefix,
 		SiteViewScrubPrefix, SiteViewRepairPrefix, SiteViewCompactPrefix,
+		SiteViewEvictPrefix, SiteDiskFullPrefix,
 		SiteIngestAppendPrefix, SiteIngestCheckpointPrefix, SiteIngestNotifyPrefix,
 	}
 	if fmt.Sprint(Sites.Exact) != fmt.Sprint(wantExact) {

@@ -93,6 +93,9 @@ func (s *Stream) Register(name, sql string, windowFrames, threshold int64, onAle
 	if err != nil {
 		return nil, err
 	}
+	ckpt.attach(s.eng.Store, func(attempt int) {
+		s.clock.Charge(simclock.CatRetry, costs.RetryBackoff(attempt))
+	})
 	clock := &simclock.Clock{}
 	q := &StandingQuery{
 		name: name, stream: s, stmt: sel,

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"eva/internal/faults"
 	"eva/internal/types"
@@ -33,6 +34,21 @@ type Engine struct {
 	videos map[string]*Video // guarded by mu
 	views  map[string]*View  // guarded by mu
 	inj    *faults.Injector  // guarded by mu
+	budget *DiskBudget       // guarded by mu; nil = unbudgeted
+	// ranker scores eviction candidates (nil = LRU); onEvict runs after
+	// each whole-view eviction with no storage locks held; retryCharge
+	// charges virtual-clock backoff before a disk-full retry. All three
+	// are installed by the eva layer. guarded by mu.
+	ranker      EvictRanker
+	onEvict     func(view string)
+	retryCharge func(attempt int)
+
+	// evictMu serializes reclaim ladders so concurrent disk-full
+	// appends do not race to evict the same views. Never held together
+	// with mu or any view lock.
+	evictMu sync.Mutex
+	// touchSeq hands out the access ordinals behind eviction recency.
+	touchSeq atomic.Uint64
 }
 
 // Open creates (or reopens) a storage engine rooted at dir.
@@ -99,6 +115,7 @@ func (e *Engine) CreateView(name string, schema types.Schema, keyCols []string) 
 		if !v.schema.Equal(schema) {
 			return nil, fmt.Errorf("storage: view %q exists with schema %s (want %s)", name, v.schema, schema)
 		}
+		e.touchView(v)
 		return v, nil
 	}
 	for _, kc := range keyCols {
@@ -106,16 +123,31 @@ func (e *Engine) CreateView(name string, schema types.Schema, keyCols []string) 
 			return nil, fmt.Errorf("storage: view %q: key column %q not in schema %s", name, kc, schema)
 		}
 	}
-	v, err := openView(filepath.Join(e.root, "views", sanitize(key)+".view"), name, schema, keyCols, e.inj)
+	v, err := openView(filepath.Join(e.root, "views", sanitize(key)+".view"), name, schema, keyCols, e.inj, e.budget)
 	if err != nil {
 		return nil, err
 	}
+	v.eng = e
+	e.touchView(v)
 	e.views[key] = v
 	return v, nil
 }
 
-// View returns the named view, or nil if it does not exist.
+// View returns the named view, or nil if it does not exist. The lookup
+// counts as an access for eviction recency.
 func (e *Engine) View(name string) *View {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.views[strings.ToLower(name)]
+	if v != nil {
+		e.touchView(v)
+	}
+	return v
+}
+
+// viewNoTouch is View without the recency bump, for the reclaim ladder
+// (the evictor inspecting a victim must not refresh it).
+func (e *Engine) viewNoTouch(name string) *View {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.views[strings.ToLower(name)]
@@ -189,10 +221,12 @@ func (e *Engine) DropViews() error {
 		if err := os.Remove(v.path); err != nil && !os.IsNotExist(err) {
 			return err
 		}
-		for _, side := range []string{cleanPath(v.path), quarPath(v.path), compactPath(v.path)} {
+		e.budget.Drop(v.path)
+		for _, side := range []string{cleanPath(v.path), quarPath(v.path), compactPath(v.path), tombPath(v.path)} {
 			if err := os.Remove(side); err != nil && !os.IsNotExist(err) {
 				return err
 			}
+			e.budget.Drop(side)
 		}
 		delete(e.views, name)
 	}

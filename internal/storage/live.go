@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,10 +32,29 @@ const (
 
 	wmHeaderLen = 5
 	wmRecLen    = 16
+
+	// wmCompactRecords is the watermark log's retention tier: replay is
+	// last-record-wins, so once this many records have accumulated the
+	// log is folded into header + one record (scratch + rename) before
+	// the next append — bounded history, bounded disk.
+	wmCompactRecords = 64
 )
 
 // wmPath returns the watermark-log path inside a video directory.
 func wmPath(dir string) string { return filepath.Join(dir, "ingest.wal") }
+
+// wmHeader builds the watermark-log header bytes.
+func wmHeader() []byte {
+	hdr := binary.LittleEndian.AppendUint32(make([]byte, 0, wmHeaderLen), wmMagic)
+	return append(hdr, wmVersion)
+}
+
+// wmRecord appends one checksummed watermark record.
+func wmRecord(buf []byte, wm int64) []byte {
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(wm))
+	return binary.LittleEndian.AppendUint64(buf, xxhash.Sum64(buf[start:], 0))
+}
 
 // OpenLiveVideo registers (or reopens) a streaming video table whose
 // frames arrive over time, up to the dataset's capacity. On reopen the
@@ -54,39 +74,25 @@ func (e *Engine) OpenLiveVideo(name string, ds vision.Dataset) (*Video, error) {
 	v := &Video{
 		name: name, dir: dir, ds: ds, segFrames: defaultSegmentFrames,
 		live: true, site: faults.SiteIngestAppend(name),
+		eng: e, budget: e.budget,
 	}
 	path := wmPath(dir)
-	if data, err := os.ReadFile(path); err == nil {
-		valid, wm, err := replayWatermarks(data)
-		if err != nil {
-			return nil, fmt.Errorf("storage: live video %s: %w", name, err)
+	tl, err := OpenTailLog(path, wmHeader(), func(data []byte) (int, error) {
+		valid, wm, rerr := replayWatermarks(data)
+		if rerr != nil {
+			return 0, rerr
 		}
 		if int(wm) > ds.Frames {
-			return nil, fmt.Errorf("storage: live video %s: watermark %d past capacity %d", name, wm, ds.Frames)
+			return 0, fmt.Errorf("watermark %d past capacity %d", wm, ds.Frames)
 		}
-		if valid < len(data) {
-			if err := os.Truncate(path, int64(valid)); err != nil {
-				return nil, fmt.Errorf("storage: live video %s: truncate torn tail: %w", name, err)
-			}
-			v.wmRecovered = int64(len(data) - valid)
-		}
-		v.wm, v.wmFoot = wm, int64(valid)
-	} else if !os.IsNotExist(err) {
-		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		v.wm = wm // lint:nolock pre-publish (OpenLiveVideo)
+		return valid, nil
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("storage: live video %s: %w", name, err)
 	}
-	v.wmFile = f
-	if v.wmFoot == 0 {
-		hdr := binary.LittleEndian.AppendUint32(nil, wmMagic)
-		hdr = append(hdr, wmVersion)
-		if _, err := f.Write(hdr); err != nil {
-			return nil, err
-		}
-		v.wmFoot = int64(len(hdr))
-	}
+	v.wmFile, v.wmFoot, v.wmRecovered = tl.File, tl.Footprint, tl.Recovered
+	e.budget.Set(path, v.wmFoot)
 	e.videos[key] = v
 	return v, nil
 }
@@ -127,6 +133,30 @@ func replayWatermarks(data []byte) (valid int, wm int64, err error) {
 // torn tail on disk and kills the handle, like a view write. It
 // returns the new durable watermark.
 func (v *Video) AppendFrames(n int, inj *faults.Injector) (int64, error) {
+	for attempt := 1; ; attempt++ {
+		wm, err := v.appendFramesOnce(n, inj)
+		if err == nil || !IsDiskFull(err) || faults.IsCrash(err) {
+			return wm, err
+		}
+		var dfe *DiskFullError
+		errors.As(err, &dfe)
+		if v.eng == nil || attempt >= evictRetryMax {
+			return wm, fmt.Errorf("storage: live video %s: %w: %v", v.name, ErrDiskBudget, dfe)
+		}
+		// Run the reclaim ladder with v.mu released: Engine.Close takes
+		// e.mu then video.mu, so calling Reclaim (which takes e.mu) under
+		// video.mu would invert the order.
+		freed := v.eng.Reclaim(dfe.Need, "")
+		if freed <= 0 && !faults.IsTransient(err) {
+			return wm, fmt.Errorf("storage: live video %s: %w: %v", v.name, ErrDiskBudget, dfe)
+		}
+		v.eng.chargeRetry(attempt)
+	}
+}
+
+// appendFramesOnce is one locked append attempt; AppendFrames wraps it
+// in the disk-full evict-retry loop.
+func (v *Video) appendFramesOnce(n int, inj *faults.Injector) (int64, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if !v.live {
@@ -145,13 +175,34 @@ func (v *Video) AppendFrames(n int, inj *faults.Injector) (int64, error) {
 	if newWM > int64(v.ds.Frames) {
 		return v.wm, fmt.Errorf("storage: live video %s: append past capacity (%d + %d > %d)", v.name, v.wm, n, v.ds.Frames)
 	}
+	// Retention tier: replay is last-record-wins, so fold a long log
+	// into header + one record before appending more. Best-effort — a
+	// failed fold leaves the old log intact and the append proceeds.
+	if v.wmFoot >= int64(wmHeaderLen+wmCompactRecords*wmRecLen) {
+		_ = v.compactWatermarkLocked() // lint:noerrcheck best-effort fold; append still valid on old log
+	}
 	rec := binary.LittleEndian.AppendUint64(make([]byte, 0, wmRecLen), uint64(newWM))
 	rec = binary.LittleEndian.AppendUint64(rec, xxhash.Sum64(rec, 0))
 
 	allow := len(rec)
 	var injected error
-	if short, ferr := inj.CheckWrite(v.site, uint64(v.wm), len(rec)); ferr != nil {
+	dfSite := faults.SiteDiskFull(v.site)
+	if short, ferr := inj.CheckWrite(dfSite, uint64(v.wm), len(rec)); ferr != nil {
+		allow, injected = short, &DiskFullError{Site: dfSite, Need: int64(len(rec)), Injected: ferr}
+	} else if short, ferr := inj.CheckWrite(v.site, uint64(v.wm), len(rec)); ferr != nil {
 		allow, injected = short, ferr
+	}
+	admitted := false
+	if injected == nil {
+		if !v.budget.Admit(wmPath(v.dir), int64(len(rec))) {
+			// Over budget: try folding the log first — that may free
+			// enough locally without evicting anyone.
+			if v.compactWatermarkLocked() != nil || !v.budget.Admit(wmPath(v.dir), int64(len(rec))) {
+				return v.wm, fmt.Errorf("storage: live video %s: %w", v.name,
+					&DiskFullError{Site: faults.SiteDiskFull(v.site), Need: int64(len(rec))})
+			}
+		}
+		admitted = true
 	}
 	var wrote int
 	var werr error
@@ -169,11 +220,71 @@ func (v *Video) AppendFrames(n int, inj *faults.Injector) (int64, error) {
 		v.wm = newWM
 		return v.wm, nil
 	}
+	if admitted {
+		v.budget.Refund(wmPath(v.dir), int64(len(rec)))
+	}
 	if terr := v.wmFile.Truncate(v.wmFoot); terr != nil {
 		v.wmDead = true
 		return v.wm, fmt.Errorf("storage: live video %s: rollback after failed write: %v (write error: %v)", v.name, terr, firstErr(injected, werr))
 	}
 	return v.wm, fmt.Errorf("storage: live video %s: %w", v.name, firstErr(injected, werr, fmt.Errorf("short write (%d of %d bytes)", wrote, len(rec))))
+}
+
+// compactWatermarkLocked folds the watermark log to its minimal form —
+// header plus (if any frames are durable) one record — via scratch
+// write and rename. Caller holds v.mu.
+func (v *Video) compactWatermarkLocked() error {
+	if v.wmFile == nil || v.wmDead || v.wmFoot <= int64(wmHeaderLen) {
+		return nil
+	}
+	buf := wmHeader()
+	if v.wm > 0 {
+		buf = wmRecord(buf, v.wm)
+	}
+	if int64(len(buf)) >= v.wmFoot {
+		return nil
+	}
+	path := wmPath(v.dir)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := v.wmFile.Close(); err != nil {
+		_ = os.Remove(tmp) // lint:noerrcheck scratch cleanup on error path
+		v.wmDead = true
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		// Old log is still intact on disk; reopen its handle.
+		_ = os.Remove(tmp) // lint:noerrcheck scratch cleanup on error path
+		f, oerr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if oerr != nil {
+			v.wmDead = true
+			return oerr
+		}
+		v.wmFile = f
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		v.wmDead = true
+		return err
+	}
+	v.wmFile = f
+	v.wmFoot = int64(len(buf))
+	v.budget.Set(path, v.wmFoot)
+	return nil
+}
+
+// setBudget installs (or replaces) the disk budget on an already-open
+// live table, charging the current watermark-log footprint.
+func (v *Video) setBudget(b *DiskBudget) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.budget = b
+	if v.live {
+		b.Set(wmPath(v.dir), v.wmFoot)
+	}
 }
 
 // Live reports whether this is a streaming table.

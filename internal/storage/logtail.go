@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// TailLog is the result of opening a checksummed append-only log with
+// torn-tail recovery: the append handle, the durable footprint, and
+// the torn-tail bytes dropped to get there.
+type TailLog struct {
+	File      *os.File
+	Footprint int64
+	Recovered int64
+}
+
+// OpenTailLog opens (or creates) a checksummed append-only log at
+// path, applying the shared crash-recovery discipline used by the
+// view log, the ingest watermark log and the standing-query
+// checkpoint log:
+//
+//  1. Read the whole file (a missing file is an empty log).
+//  2. Replay it through the caller's closure, which rebuilds whatever
+//     in-memory state the log backs and returns the byte length of the
+//     valid prefix — everything past it is a record cut short by a
+//     crash mid-append.
+//  3. Truncate the torn tail so the log ends on a record boundary.
+//  4. Open an O_APPEND handle and, when the log is empty, write the
+//     caller's header so the file is self-identifying from byte zero.
+//
+// A replay error is fatal (the caller wraps it with log identity); the
+// closure may itself salvage around interior corruption and still
+// return a final valid length, as the view log does.
+func OpenTailLog(path string, header []byte, replay func(data []byte) (valid int, err error)) (TailLog, error) {
+	var tl TailLog
+	if data, err := os.ReadFile(path); err == nil {
+		valid, rerr := replay(data)
+		if rerr != nil {
+			return tl, rerr
+		}
+		if valid < 0 || valid > len(data) {
+			return tl, fmt.Errorf("replay returned valid prefix %d of %d bytes", valid, len(data))
+		}
+		if valid < len(data) {
+			if terr := os.Truncate(path, int64(valid)); terr != nil {
+				return tl, fmt.Errorf("truncate torn tail: %w", terr)
+			}
+			tl.Recovered = int64(len(data) - valid)
+		}
+		tl.Footprint = int64(valid)
+	} else if !os.IsNotExist(err) {
+		return tl, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return tl, err
+	}
+	if tl.Footprint == 0 && len(header) > 0 {
+		if _, err := f.Write(header); err != nil {
+			_ = f.Close()
+			return tl, err
+		}
+		tl.Footprint = int64(len(header))
+	}
+	tl.File = f
+	return tl, nil
+}

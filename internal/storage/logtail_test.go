@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tailReplay is the test log's replay: header "HD", then 2-byte
+// records [val, ^val]. The valid prefix ends at the first incomplete
+// or complement-failing record.
+func tailReplay(data []byte) (int, error) {
+	if len(data) < 2 || data[0] != 'H' || data[1] != 'D' {
+		return 0, fmt.Errorf("bad test-log header")
+	}
+	off := 2
+	for off+2 <= len(data) {
+		if data[off]^data[off+1] != 0xff {
+			return off, nil
+		}
+		off += 2
+	}
+	return off, nil
+}
+
+func TestOpenTailLogFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	tl, err := OpenTailLog(path, []byte("HD"), tailReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.File.Close()
+	if tl.Footprint != 2 || tl.Recovered != 0 {
+		t.Fatalf("fresh log: footprint=%d recovered=%d, want 2, 0", tl.Footprint, tl.Recovered)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(data, []byte("HD")) {
+		t.Fatalf("fresh log on disk = %q (%v), want header", data, err)
+	}
+}
+
+func TestOpenTailLogReopenClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	tl, err := OpenTailLog(path, []byte("HD"), tailReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.File.Write([]byte{0x01, 0xfe, 0x02, 0xfd}); err != nil {
+		t.Fatal(err)
+	}
+	tl.File.Close()
+
+	tl2, err := OpenTailLog(path, []byte("HD"), tailReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl2.File.Close()
+	if tl2.Footprint != 6 || tl2.Recovered != 0 {
+		t.Fatalf("clean reopen: footprint=%d recovered=%d, want 6, 0", tl2.Footprint, tl2.Recovered)
+	}
+	// The header must not be written again onto a non-empty log.
+	data, _ := os.ReadFile(path)
+	if !bytes.Equal(data, []byte{'H', 'D', 0x01, 0xfe, 0x02, 0xfd}) {
+		t.Fatalf("reopen mutated the log: %x", data)
+	}
+}
+
+func TestOpenTailLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	// One whole record, then a torn half-record.
+	if err := os.WriteFile(path, []byte{'H', 'D', 0x01, 0xfe, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := OpenTailLog(path, []byte("HD"), tailReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.File.Close()
+	if tl.Footprint != 4 || tl.Recovered != 1 {
+		t.Fatalf("torn reopen: footprint=%d recovered=%d, want 4, 1", tl.Footprint, tl.Recovered)
+	}
+	data, _ := os.ReadFile(path)
+	if !bytes.Equal(data, []byte{'H', 'D', 0x01, 0xfe}) {
+		t.Fatalf("torn tail not truncated: %x", data)
+	}
+	// Appends continue at the truncated boundary.
+	if _, err := tl.File.Write([]byte{0x03, 0xfc}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if !bytes.Equal(data, []byte{'H', 'D', 0x01, 0xfe, 0x03, 0xfc}) {
+		t.Fatalf("append after recovery landed wrong: %x", data)
+	}
+}
+
+func TestOpenTailLogReplayErrorIsFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte{'X', 'X'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTailLog(path, []byte("HD"), tailReplay); err == nil {
+		t.Fatal("bad header did not fail the open")
+	}
+}
+
+func TestOpenTailLogRejectsBogusValidPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, []byte{'H', 'D'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTailLog(path, nil, func(data []byte) (int, error) {
+		return len(data) + 1, nil
+	}); err == nil {
+		t.Fatal("out-of-range valid prefix did not fail the open")
+	}
+	if _, err := OpenTailLog(path, nil, func(data []byte) (int, error) {
+		return -1, nil
+	}); err == nil {
+		t.Fatal("negative valid prefix did not fail the open")
+	}
+}

@@ -143,6 +143,7 @@ func (v *View) adoptHolesLocked() {
 	if len(v.holes) == 0 {
 		v.quar = nil
 		_ = os.Remove(quarPath(v.path))
+		v.budget.Drop(quarPath(v.path))
 		return
 	}
 	q := &Quarantine{
@@ -156,6 +157,10 @@ func (v *View) adoptHolesLocked() {
 	v.quar = q
 	v.holes = nil
 	writeQuarManifest(v.path, q)
+	// Manifest layout: magic+version+count, 16 bytes per range, and the
+	// trailing checksum. Charged exactly, never denied (best-effort
+	// sidecar, like the clean-prefix one).
+	v.budget.Set(quarPath(v.path), int64(4+1+4+16*len(q.Ranges)+8))
 }
 
 // trustedBoundLocked is the byte length of the log prefix the clean
@@ -448,10 +453,17 @@ func (v *View) Compact() (CompactResult, error) {
 
 	// The compaction site models a kill or failure anywhere in the
 	// rewrite; Crash leaves a partial scratch file behind, exactly
-	// like a killed process would.
+	// like a killed process would. The disk:full shadow site draws
+	// first — a full disk fails the scratch write before anything
+	// else can. The scratch itself is never budget-gated: compaction
+	// *frees* space, and denying its transient overshoot would wedge
+	// the reclaim ladder's cheapest tier.
 	allow := len(buf)
 	var injected error
-	if short, ferr := v.inj.CheckWrite(faults.SiteViewCompact(v.name), uint64(v.footprint), len(buf)); ferr != nil {
+	dfSite := faults.SiteDiskFull(faults.SiteViewCompact(v.name))
+	if short, ferr := v.inj.CheckWrite(dfSite, uint64(v.footprint), len(buf)); ferr != nil {
+		allow, injected = short, &DiskFullError{Site: dfSite, Need: int64(len(buf)), Injected: ferr}
+	} else if short, ferr := v.inj.CheckWrite(faults.SiteViewCompact(v.name), uint64(v.footprint), len(buf)); ferr != nil {
 		allow, injected = short, ferr
 	}
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -474,13 +486,19 @@ func (v *View) Compact() (CompactResult, error) {
 		return res, fmt.Errorf("storage: view %s: compact: %w", v.name,
 			firstErr(injected, werr, fmt.Errorf("short write (%d of %d bytes)", wrote, len(buf))))
 	}
+	// The scratch generation is on disk now: account it until the
+	// rename folds it into the log's own charge (or a failure deletes
+	// it).
+	v.budget.Set(tmp, int64(len(buf)))
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
 		_ = os.Remove(tmp)
+		v.budget.Drop(tmp)
 		return res, fmt.Errorf("storage: view %s: compact fsync: %w", v.name, err)
 	}
 	if err := f.Close(); err != nil {
 		_ = os.Remove(tmp)
+		v.budget.Drop(tmp)
 		return res, fmt.Errorf("storage: view %s: compact close: %w", v.name, err)
 	}
 	// Re-read the durable bytes and verify every checksum before the
@@ -505,6 +523,7 @@ func (v *View) Compact() (CompactResult, error) {
 	}
 	if err != nil {
 		_ = os.Remove(tmp)
+		v.budget.Drop(tmp)
 		return res, fmt.Errorf("storage: view %s: compact verify: %w", v.name, err)
 	}
 
@@ -530,7 +549,15 @@ func (v *View) Compact() (CompactResult, error) {
 	v.footprint = int64(len(buf))
 	v.quar = nil
 	_ = os.Remove(quarPath(v.path))
-	_ = writeCleanSidecar(v.path, buf, v.footprint)
+	// Rename-time accounting: the scratch charge becomes the log's, the
+	// healed quarantine manifest is gone, and the refreshed sidecar is
+	// re-charged at its fixed size.
+	v.budget.Drop(tmp)
+	v.budget.Set(v.path, v.footprint)
+	v.budget.Drop(quarPath(v.path))
+	if writeCleanSidecar(v.path, buf, v.footprint) == nil {
+		v.budget.Set(cleanPath(v.path), cleanLen)
+	}
 	res.BytesAfter = v.footprint
 	return res, nil
 }

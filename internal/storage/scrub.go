@@ -59,6 +59,9 @@ type ScrubStats struct {
 	Passes int
 	// Degraded counts due passes deferred because the system was busy.
 	Degraded int
+	// CompactBytesFreed totals the log bytes reclaimed by compactions
+	// run on the scrub/repair pipeline's behalf (see AddFreed).
+	CompactBytesFreed int64
 }
 
 // maxDegradeFactor bounds how far a busy system can stretch the scrub
@@ -116,6 +119,19 @@ func (s *Scrubber) Stats() ScrubStats {
 	s.statMu.Lock()
 	defer s.statMu.Unlock()
 	return s.stats
+}
+
+// AddFreed credits n bytes reclaimed by a compaction run on the
+// scrub/repair pipeline's behalf (System.Repair compacts healed logs;
+// the eva layer reports the CompactResult delta here). Nil-safe so
+// callers need not special-case a disabled scrubber.
+func (s *Scrubber) AddFreed(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	s.stats.CompactBytesFreed += n
 }
 
 // Close stops the scrubber and waits for its goroutine to exit.

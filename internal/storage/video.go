@@ -38,15 +38,20 @@ type Video struct {
 	// once. site is its ingest-append fault site.
 	live bool
 	site string
+	// eng points back to the owning engine so a disk-full watermark
+	// append can run the reclaim ladder; nil for videos built directly
+	// in unit tests. Immutable after creation.
+	eng *Engine
 
 	mu    sync.Mutex
 	cache map[int]*types.Batch // guarded by mu; segment index -> decoded batch
 	// Streaming state (live tables only; see live.go).
-	wm          int64    // guarded by mu; durable watermark (frames)
-	wmFile      *os.File // guarded by mu; watermark-log handle
-	wmFoot      int64    // guarded by mu; watermark-log bytes
-	wmDead      bool     // guarded by mu; simulated crash hit this handle
-	wmRecovered int64    // guarded by mu; torn-tail bytes dropped at open
+	wm          int64       // guarded by mu; durable watermark (frames)
+	wmFile      *os.File    // guarded by mu; watermark-log handle
+	wmFoot      int64       // guarded by mu; watermark-log bytes
+	wmDead      bool        // guarded by mu; simulated crash hit this handle
+	wmRecovered int64       // guarded by mu; torn-tail bytes dropped at open
+	budget      *DiskBudget // guarded by mu; charges the watermark log
 }
 
 // Name returns the table name.

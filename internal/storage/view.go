@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"eva/internal/faults"
 	"eva/internal/types"
@@ -58,6 +59,17 @@ type View struct {
 	// evaluating it (per-(view, key) singleflight across sessions);
 	// the channel closes when the claim is released. guarded by mu.
 	claims map[string]chan struct{}
+	// touch is the engine's access ordinal at this view's last lookup,
+	// read by the eviction ranker (atomic — ordinals come from the
+	// engine's touchSeq, bumped per engine-level lookup, not per row).
+	touch atomic.Uint64
+	// eng points back to the owning engine so a disk-full append can
+	// run the reclaim ladder; nil for views opened directly in unit
+	// tests (no reclaim possible). Immutable after CreateView.
+	eng *Engine
+	// budget is the engine's disk budget charging this view's durable
+	// artifacts; nil when unbudgeted. guarded by mu.
+	budget *DiskBudget
 }
 
 // View file format v2: header (magic, version, schema, key columns)
@@ -179,11 +191,16 @@ func (v *View) writeCleanSidecarLocked() {
 	buf = binary.LittleEndian.AppendUint64(buf, xxhash.Sum64(buf, 0))
 	tmp := cleanPath(v.path) + ".tmp"
 	if os.WriteFile(tmp, buf, 0o644) == nil {
-		_ = os.Rename(tmp, cleanPath(v.path))
+		if os.Rename(tmp, cleanPath(v.path)) == nil {
+			// Sidecars are charged at their exact size but never
+			// budget-denied: they are bounded best-effort artifacts, and
+			// denying one would only cost the next open a full scan.
+			v.budget.Set(cleanPath(v.path), cleanLen)
+		}
 	}
 }
 
-func openView(path, name string, schema types.Schema, keyCols []string, inj *faults.Injector) (*View, error) {
+func openView(path, name string, schema types.Schema, keyCols []string, inj *faults.Injector, budget *DiskBudget) (*View, error) {
 	v := &View{
 		name:      name,
 		path:      path,
@@ -195,72 +212,73 @@ func openView(path, name string, schema types.Schema, keyCols []string, inj *fau
 		processed: map[string]struct{}{},
 		claims:    map[string]chan struct{}{},
 		inj:       inj,
+		budget:    budget,
 	}
 	for _, kc := range keyCols {
 		v.keyIdx = append(v.keyIdx, schema.IndexOf(kc))
+	}
+	// A tombstone marks a committed eviction the process died inside:
+	// whatever artifacts survive describe a view that no longer exists,
+	// so clear them all and start fresh. The tombstone must never
+	// resurrect a half-deleted view.
+	if _, err := os.Stat(tombPath(path)); err == nil {
+		clearTombstonedView(path)
 	}
 	// A crash mid-compaction can leave a partial next generation behind;
 	// it was never committed (the rename is the commit point), so it is
 	// garbage.
 	_ = os.Remove(compactPath(path))
-	if data, err := os.ReadFile(path); err == nil {
+	headerLost, replayed := false, false
+	tl, err := OpenTailLog(path, v.encodeHeader(), func(data []byte) (int, error) {
+		replayed = true
 		trusted := readCleanSidecar(path, data)
-		valid, err := v.replay(data, trusted)
-		if errors.Is(err, errTrustedCorrupt) {
+		valid, rerr := v.replay(data, trusted)
+		if errors.Is(rerr, errTrustedCorrupt) {
 			// The sidecar promised a clean prefix the file does not
 			// have (external truncation or corruption): fall back to
 			// the full verifying scan over a fresh in-memory state.
 			v.resetReplayState()
-			valid, err = v.replay(data, 0)
+			valid, rerr = v.replay(data, 0)
 		}
-		if errors.Is(err, errHeaderCorrupt) {
+		if errors.Is(rerr, errHeaderCorrupt) {
 			// The header itself is unreadable, so no record can be
 			// attributed to a schema: the whole generation is lost.
 			// Views are derived data — quarantine everything and start
-			// a fresh log rather than dying.
+			// a fresh log rather than dying. Returning valid = 0 makes
+			// the shared truncation drop the whole generation.
 			v.resetReplayState()
 			v.holes = []LostRange{{Lo: 0, Hi: int64(len(data))}} // lint:nolock pre-publish (openView)
-			if terr := os.Truncate(path, 0); terr != nil {
-				return nil, fmt.Errorf("storage: view %s: reset corrupt header: %w", name, terr)
-			}
 			// The old sidecar described the lost generation.
 			_ = os.Remove(cleanPath(path))
-			valid, data = 0, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("storage: view %s: %w", name, err)
+			headerLost = true
+			return 0, nil
 		}
-		if valid < len(data) {
-			// Torn tail (crash mid-append): drop the incomplete suffix
-			// so the log ends on a record boundary again. Mid-log holes
-			// before valid stay on disk — they are quarantined, and
-			// truncating them would shift every later record's LSN.
-			if err := os.Truncate(path, int64(valid)); err != nil {
-				return nil, fmt.Errorf("storage: view %s: truncate torn tail: %w", name, err)
-			}
-			v.recovered = int64(len(data) - valid)
+		if rerr != nil {
+			return 0, rerr
 		}
-		v.footprint = int64(valid)
-		v.adoptHolesLocked() // lint:nolock pre-publish (openView)
+		// Mid-log holes before valid stay on disk — they are
+		// quarantined, and truncating them would shift every later
+		// record's LSN; only the torn tail past valid is dropped.
+		return valid, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: view %s: %w", name, err)
+	}
+	v.file, v.footprint = tl.File, tl.Footprint
+	if !headerLost {
+		// Header loss is accounted as a quarantined hole, not as a torn
+		// tail: recovered stays 0 for that path.
+		v.recovered = tl.Recovered
+	}
+	v.adoptHolesLocked() // lint:nolock pre-publish (openView)
+	if replayed {
 		// Refresh the sidecar to the verified prefix — up to the first
 		// hole when quarantined — so the *next* open's verification
 		// cost is bounded. Best-effort: failure costs a full scan, not
-		// correctness.
-		_ = writeCleanSidecar(path, data, v.trustedBoundLocked())
-	} else if !os.IsNotExist(err) {
-		return nil, err
+		// correctness. A fresh (never-written) log earns no sidecar.
+		v.writeCleanSidecarLocked() // lint:nolock pre-publish (openView)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	v.file = f
-	if v.footprint == 0 {
-		hdr := v.encodeHeader()
-		if _, err := f.Write(hdr); err != nil {
-			return nil, err
-		}
-		v.footprint = int64(len(hdr))
-	}
+	budget.Set(path, v.footprint)
 	return v, nil
 }
 
@@ -522,6 +540,16 @@ func (v *View) setInjector(inj *faults.Injector) {
 	v.inj = inj
 }
 
+// setBudget installs (or clears) the disk budget, charging the view's
+// current on-disk footprint so late installation still accounts for
+// existing artifacts.
+func (v *View) setBudget(b *DiskBudget) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.budget = b
+	b.Set(v.path, v.footprint)
+}
+
 // Name returns the view name.
 func (v *View) Name() string { return v.name }
 
@@ -600,10 +628,14 @@ func (v *View) appendRowLocked(row []types.Datum) {
 // so memory can never run ahead of disk; on a simulated crash the
 // view is marked dead and the torn tail is left for recovery at the
 // next open.
+//
+// Disk pressure never fails an append while something evictable
+// remains: a budget denial or injected disk:full fault releases the
+// lock, runs the engine's reclaim ladder (compact fragmented logs,
+// then evict cold views), charges virtual-clock backoff, and retries;
+// only a dry ladder surfaces the typed ErrDiskBudget.
 func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.appendLocked(rows, processedKeys, v.inj)
+	return v.appendEvictRetry(rows, processedKeys, nil, true)
 }
 
 // AppendWith is Append consulting the caller's fault injector instead
@@ -612,9 +644,45 @@ func (v *View) Append(rows *types.Batch, processedKeys [][]types.Datum) (int, er
 // schedule, not the system-wide injector (which stays nil-safe for
 // fault-free sessions even when the system has one installed).
 func (v *View) AppendWith(rows *types.Batch, processedKeys [][]types.Datum, inj *faults.Injector) (int, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.appendLocked(rows, processedKeys, inj)
+	return v.appendEvictRetry(rows, processedKeys, inj, false)
+}
+
+// appendEvictRetry runs locked append attempts, holding no view lock
+// between them: a retriable disk-full failure frees space through the
+// engine's reclaim ladder (which must take other views' locks) and
+// retries the same record. The retry redraws injected faults at the
+// same LSN (the injector bumps the per-(site, LSN) occurrence count),
+// so transient disk:full schedules drain exactly like transient write
+// faults. The loop terminates because every retry either freed bytes
+// (finite) or drained a bounded injector rule, with evictRetryMax as
+// the backstop.
+func (v *View) appendEvictRetry(rows *types.Batch, processedKeys [][]types.Datum, inj *faults.Injector, useViewInj bool) (int, error) {
+	for attempt := 1; ; attempt++ {
+		v.mu.Lock()
+		use := inj
+		if useViewInj {
+			use = v.inj
+		}
+		n, err := v.appendLocked(rows, processedKeys, use)
+		v.mu.Unlock()
+		if err == nil || !IsDiskFull(err) || faults.IsCrash(err) {
+			return n, err
+		}
+		var dfe *DiskFullError
+		errors.As(err, &dfe)
+		if v.eng == nil || attempt >= evictRetryMax {
+			return 0, fmt.Errorf("storage: view %s: %w: %v", v.name, ErrDiskBudget, dfe)
+		}
+		// Evicting the log being appended would free nothing durable
+		// for this retry, so the ladder excludes it; a budget too small
+		// for even one view therefore ends with a dry ladder and the
+		// typed error, never an evict-ourselves loop.
+		freed := v.eng.Reclaim(dfe.Need, v.name)
+		if freed <= 0 && !faults.IsTransient(err) {
+			return 0, fmt.Errorf("storage: view %s: %w: %v", v.name, ErrDiskBudget, dfe)
+		}
+		v.eng.chargeRetry(attempt)
+	}
 }
 
 func (v *View) appendLocked(rows *types.Batch, processedKeys [][]types.Datum, inj *faults.Injector) (int, error) {
@@ -697,7 +765,10 @@ func (v *View) appendLocked(rows *types.Batch, processedKeys [][]types.Datum, in
 // writeLocked appends the encoded record to the log, consulting the
 // fault injector. Short or failed writes are rolled back by truncating
 // to the pre-append length; a simulated crash leaves the torn tail on
-// disk and kills the view. Callers must hold mu.
+// disk and kills the view. A disk-full condition — the budget denying
+// the bytes, or an injected fault at the log's disk:full shadow site —
+// surfaces as a retriable *DiskFullError for the evict-retry loop.
+// Callers must hold mu.
 func (v *View) writeLocked(out []byte, inj *faults.Injector) error {
 	if v.file == nil {
 		return fmt.Errorf("storage: view %s: closed", v.name)
@@ -708,9 +779,23 @@ func (v *View) writeLocked(out []byte, inj *faults.Injector) error {
 	// probabilistic fault draw, so a record's fate does not depend on
 	// how many appends other views (or retries of other records) made
 	// first. A rolled-back retry of the same record redraws (the
-	// injector bumps a per-(site, LSN) occurrence counter).
-	if short, ferr := inj.CheckWrite(v.site, uint64(v.footprint), len(out)); ferr != nil {
+	// injector bumps a per-(site, LSN) occurrence counter). The
+	// disk:full shadow site draws first — a full disk fails the write
+	// before the bytes could matter.
+	dfSite := faults.SiteDiskFull(v.site)
+	if short, ferr := inj.CheckWrite(dfSite, uint64(v.footprint), len(out)); ferr != nil {
+		allow, injected = short, &DiskFullError{Site: dfSite, Need: int64(len(out)), Injected: ferr}
+	} else if short, ferr := inj.CheckWrite(v.site, uint64(v.footprint), len(out)); ferr != nil {
 		allow, injected = short, ferr
+	}
+	admitted := false
+	if injected == nil {
+		if !v.budget.Admit(v.path, int64(len(out))) {
+			// Denied before any byte reaches the file: nothing to roll
+			// back, and the retry (after reclaim) redraws nothing.
+			return fmt.Errorf("storage: view %s: %w", v.name, &DiskFullError{Site: dfSite, Need: int64(len(out))})
+		}
+		admitted = true
 	}
 	var wrote int
 	var werr error
@@ -727,6 +812,9 @@ func (v *View) writeLocked(out []byte, inj *faults.Injector) error {
 	if injected == nil && werr == nil && wrote == len(out) {
 		v.footprint += int64(len(out))
 		return nil
+	}
+	if admitted {
+		v.budget.Refund(v.path, int64(len(out)))
 	}
 	// Failed or short write without a crash: roll the file back so
 	// disk and memory stay in lockstep.

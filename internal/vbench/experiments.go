@@ -65,6 +65,7 @@ func Experiments() []Experiment {
 		{ID: "ingest", Title: "Streaming ingestion — throughput, checkpoint lag, recovery", Paper: "engine extension (DESIGN.md §12): frames/s, checkpoint lag percentiles, reopen time vs log length", Run: ExpIngest},
 		{ID: "alloc", Title: "Pooled batches — warm hot-path allocations per row", Paper: "engine extension (DESIGN.md §13): marginal allocs/row ~0 on the warm view-served path, pooled/unpooled digests identical", Run: ExpAlloc},
 		{ID: "scrub", Title: "Self-healing views — salvage, symbolic repair, compaction", Paper: "engine extension (DESIGN.md §15): rows salvaged vs recomputed per corruption site, repair simtime percentiles, compaction amplification", Run: ExpScrub},
+		{ID: "evict", Title: "Disk-pressure survival — storage budgets and benefit-ranked eviction", Paper: "engine extension (DESIGN.md §16): bytes reclaimed per ladder tier, evict-then-recompute simtime, queries survived per budget level", Run: ExpEvict},
 	}
 }
 

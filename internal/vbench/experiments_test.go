@@ -12,8 +12,8 @@ var smallCfg = ExpConfig{Scale: 0.05}
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("experiments = %d, want 20 (every table and figure, plus the parallel, chaos, server, ingest, alloc and scrub extensions)", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("experiments = %d, want 21 (every table and figure, plus the parallel, chaos, server, ingest, alloc, scrub and evict extensions)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -293,6 +293,7 @@ func (s *System) Repair() (RepairReport, error) {
 				rec.Compacted = true
 				rec.CompactBytesBefore = cres.BytesBefore
 				rec.CompactBytesAfter = cres.BytesAfter
+				s.scrubber.AddFreed(cres.BytesBefore - cres.BytesAfter)
 				s.clearRepair(name)
 			}
 		}
